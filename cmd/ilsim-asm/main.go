@@ -1,0 +1,115 @@
+// Command ilsim-asm shows HSAIL kernels side by side with their finalized
+// GCN3 code — the instruction-expansion story of the paper's Tables 1-3 —
+// and can disassemble any kernel of the workload suite.
+//
+// Usage:
+//
+//	ilsim-asm -tables          # the paper's Table 1/2/3 examples
+//	ilsim-asm -workload FFT    # dual disassembly of a suite workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ilsim/internal/core"
+	"ilsim/internal/finalizer"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+	"ilsim/internal/workloads"
+)
+
+func main() {
+	tables := flag.Bool("tables", false, "show the paper's Table 1/2/3 expansion examples")
+	workload := flag.String("workload", "", "disassemble a suite workload's kernels")
+	scale := flag.Int("scale", 1, "input scale when preparing a workload")
+	flag.Parse()
+
+	switch {
+	case *tables:
+		showTables()
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		inst, err := w.Prepare(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ks := range inst.Kernels {
+			show(ks)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func show(ks *core.KernelSource) {
+	fmt.Printf("==== kernel %s ====\n\n", ks.HSAIL.Name)
+	fmt.Printf("HSAIL (%d instructions, %d bytes loaded, %d bytes of BRIG):\n%s\n",
+		ks.HSAIL.NumInsts(), ks.CodeBytesHSAIL(), ks.BRIGBytes, ks.HSAIL.Disassemble())
+	fmt.Printf("GCN3 (%d instructions, %d bytes encoded, %d VGPRs, %d SGPRs):\n%s\n",
+		len(ks.GCN3.Program.Insts), ks.CodeBytesGCN3(), ks.GCN3.NumVGPRs, ks.GCN3.NumSGPRs,
+		ks.GCN3.Program.Disassemble())
+}
+
+func prepare(k *hsail.Kernel, opts finalizer.Options) *core.KernelSource {
+	ks, err := core.PrepareKernel(k, opts)
+	if err != nil {
+		fatal(err)
+	}
+	return ks
+}
+
+func showTables() {
+	// Table 1: obtaining the absolute work-item ID.
+	{
+		b := kernel.NewBuilder("table1_workitemabsid")
+		out := b.ArgPtr("out")
+		gid := b.WorkItemAbsID(isa.DimX)
+		addr := b.Add(isa.TypeU64, b.LoadArg(out), b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2)))
+		b.Store(hsail.SegGlobal, gid, addr, 0)
+		b.Ret()
+		fmt.Println("############ Table 1: work-item ID requires the ABI ############")
+		show(prepare(b.MustFinish(), finalizer.Options{}))
+	}
+	// Table 2: kernarg access through vector moves and a flat load.
+	{
+		b := kernel.NewBuilder("table2_kernarg")
+		arg := b.ArgPtr("arg1")
+		ptr := b.LoadArg(arg)
+		v := b.Load(hsail.SegGlobal, isa.TypeU32, ptr, 0)
+		out := b.ArgPtr("out")
+		gid := b.WorkItemAbsID(isa.DimX)
+		addr := b.Add(isa.TypeU64, b.LoadArg(out), b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2)))
+		b.Store(hsail.SegGlobal, v, addr, 0)
+		b.Ret()
+		fmt.Println("############ Table 2: kernarg address calculation (UseFlatKernarg) ############")
+		show(prepare(b.MustFinish(), finalizer.Options{UseFlatKernarg: true}))
+	}
+	// Table 3: 64-bit floating-point division.
+	{
+		b := kernel.NewBuilder("table3_fdiv64")
+		aArg := b.ArgPtr("a")
+		bArg := b.ArgPtr("b")
+		oArg := b.ArgPtr("out")
+		gid := b.WorkItemAbsID(isa.DimX)
+		off := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 3))
+		num := b.Load(hsail.SegGlobal, isa.TypeF64, b.Add(isa.TypeU64, b.LoadArg(aArg), off), 0)
+		den := b.Load(hsail.SegGlobal, isa.TypeF64, b.Add(isa.TypeU64, b.LoadArg(bArg), off), 0)
+		q := b.Div(isa.TypeF64, num, den)
+		b.Store(hsail.SegGlobal, q, b.Add(isa.TypeU64, b.LoadArg(oArg), off), 0)
+		b.Ret()
+		fmt.Println("############ Table 3: f64 division (Newton-Raphson expansion) ############")
+		show(prepare(b.MustFinish(), finalizer.Options{}))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ilsim-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command ilsim-report regenerates every table and figure of the paper's
+// evaluation section and writes the results as markdown.
+//
+// Usage:
+//
+//	ilsim-report [-scale N] [-hw=false] [-exp fig5] [-o EXPERIMENTS.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ilsim/internal/core"
+	"ilsim/internal/report"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "input scale for the workload suite")
+	withHW := flag.Bool("hw", true, "run the hardware-correlation oracle (Table 7)")
+	exp := flag.String("exp", "", "render only one experiment (fig1, fig3, fig5..fig12, table6, table7, ablation)")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	csvDir := flag.String("csv", "", "also export per-figure CSV files to this directory")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	res, err := report.Collect(cfg, *scale, *withHW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilsim-report:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := res.WriteCSV(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ilsim-report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote CSV files to", *csvDir)
+	}
+
+	var text string
+	switch *exp {
+	case "":
+		text = res.Markdown(cfg)
+	case "fig1":
+		text = res.Fig1()
+	case "fig3":
+		text, err = report.Fig3()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilsim-report:", err)
+			os.Exit(1)
+		}
+	case "fig5":
+		text = res.Fig5()
+	case "fig6":
+		text = res.Fig6()
+	case "fig7":
+		text = res.Fig7()
+	case "fig8":
+		text = res.Fig8()
+	case "fig9":
+		text = res.Fig9()
+	case "fig10":
+		text = res.Fig10()
+	case "fig11":
+		text = res.Fig11()
+	case "fig12":
+		text = res.Fig12()
+	case "table6":
+		text = res.Table6()
+	case "table7":
+		text = res.Table7()
+	case "ablation":
+		rows, err := report.RunAblations(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilsim-report:", err)
+			os.Exit(1)
+		}
+		text = report.AblationTable(rows)
+	default:
+		fmt.Fprintf(os.Stderr, "ilsim-report: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ilsim-report:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,134 @@
+// Command ilsim-trace prints the dynamic instruction stream of one wavefront
+// of a workload under either abstraction: program counter, active-lane count,
+// reconvergence-stack depth (HSAIL), and disassembly — the view that makes
+// the two abstractions' front-end behavior tangible.
+//
+// Usage:
+//
+//	ilsim-trace -workload SpMV -abs hsail [-wg 0] [-wave 0] [-max 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ilsim/internal/core"
+	"ilsim/internal/emu"
+	"ilsim/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "ArrayBW", "workload name")
+	abs := flag.String("abs", "gcn3", "abstraction: hsail or gcn3")
+	wgIdx := flag.Int("wg", 0, "workgroup to trace")
+	waveIdx := flag.Int("wave", 0, "wavefront within the workgroup")
+	maxInsts := flag.Int("max", 200, "maximum instructions to print (0 = all)")
+	launch := flag.Int("launch", 0, "which dynamic kernel launch to trace")
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := w.Prepare(1)
+	if err != nil {
+		fatal(err)
+	}
+	a := core.AbsGCN3
+	if *abs == "hsail" {
+		a = core.AbsHSAIL
+	}
+	m := core.NewMachine(a, nil)
+	if err := inst.Setup(m); err != nil {
+		fatal(err)
+	}
+
+	// Drain launches up to the requested one (executing them fully so
+	// memory state is right), then trace the chosen wavefront.
+	for l := 0; ; l++ {
+		d, eng, err := m.NextDispatch()
+		if err != nil {
+			fatal(err)
+		}
+		if d == nil {
+			fatal(fmt.Errorf("launch %d not found (workload has %d)", *launch, l))
+		}
+		if l != *launch {
+			if err := emu.RunFunctional(eng, d); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		if *wgIdx >= len(d.Workgroups) {
+			fatal(fmt.Errorf("workgroup %d out of range (%d)", *wgIdx, len(d.Workgroups)))
+		}
+		info := &d.Workgroups[*wgIdx]
+		wg := emu.NewWGState(d, info, eng.LDSBytes())
+		if *waveIdx >= info.NumWaves {
+			fatal(fmt.Errorf("wave %d out of range (%d)", *waveIdx, info.NumWaves))
+		}
+		// Other waves of the group run untraced but interleaved enough
+		// for barriers to release: round-robin stepping.
+		waves := make([]*emu.Wave, info.NumWaves)
+		for i := range waves {
+			waves[i] = eng.NewWave(wg, i)
+		}
+		fmt.Printf("kernel %s, %s, workgroup %d, wave %d (%d lanes)\n\n",
+			d.KernelName, a, *wgIdx, *waveIdx, waves[*waveIdx].NumLanes)
+		fmt.Printf("%-6s %-10s %-5s %-4s %s\n", "#", "pc", "lanes", "rs", "instruction")
+		printed := 0
+		atBarrier := make([]bool, len(waves))
+		for {
+			allDone := true
+			progressed := false
+			for i, wv := range waves {
+				if wv.Done {
+					continue
+				}
+				allDone = false
+				if atBarrier[i] {
+					continue
+				}
+				pc := wv.PC
+				r, err := eng.Execute(wv)
+				if err != nil {
+					fatal(err)
+				}
+				progressed = true
+				if i == *waveIdx {
+					printed++
+					if *maxInsts == 0 || printed <= *maxInsts {
+						mark := " "
+						if r.Redirected {
+							mark = ">" // front-end redirect (IB flush)
+						}
+						fmt.Printf("%-6d 0x%08x %-5d %-4d %s%s\n",
+							printed, pc, r.ActiveLanes, len(wv.RS), mark, eng.InstString(pc))
+					}
+				}
+				if r.IsBarrier {
+					atBarrier[i] = true
+				}
+			}
+			if allDone {
+				break
+			}
+			if !progressed {
+				for i := range atBarrier {
+					atBarrier[i] = false
+				}
+			}
+		}
+		if *maxInsts != 0 && printed > *maxInsts {
+			fmt.Printf("... (%d more instructions)\n", printed-*maxInsts)
+		}
+		fmt.Printf("\nwave executed %d instructions\n", printed)
+		return
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ilsim-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,216 @@
+// Command ilsim runs one workload of the Table 5 suite under one or both
+// ISA abstractions on the timed GPU model and prints the statistics the
+// paper compares.
+//
+// Usage:
+//
+//	ilsim [-workload LULESH] [-abs both|hsail|gcn3] [-scale N] [-values] [-reuse]
+//	ilsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ilsim/internal/core"
+	"ilsim/internal/isa"
+	"ilsim/internal/stats"
+	"ilsim/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "ArrayBW", "workload name (see -list)")
+	abs := flag.String("abs", "both", "abstraction: hsail, gcn3, or both")
+	scale := flag.Int("scale", 2, "input scale")
+	values := flag.Bool("values", false, "track VRF lane-value uniqueness (Fig 10)")
+	reuse := flag.Bool("reuse", false, "track register reuse distance (Fig 7)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	cus := flag.Int("cus", 0, "override the number of compute units")
+	banks := flag.Int("banks", 0, "override the VRF bank count")
+	wfSlots := flag.Int("wfslots", 0, "override wavefront slots per CU")
+	l1iKB := flag.Int("l1i", 0, "override the I-cache size in KB")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := w.Prepare(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	if *cus > 0 {
+		cfg.NumCUs = *cus
+	}
+	if *banks > 0 {
+		cfg.VRFBanks = *banks
+	}
+	if *wfSlots > 0 {
+		cfg.WFSlots = *wfSlots
+	}
+	if *l1iKB > 0 {
+		cfg.L1ISize = *l1iKB << 10
+	}
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.RunOptions{TrackValues: *values, ValueSampleEvery: 4, TrackReuse: *reuse}
+
+	var targets []core.Abstraction
+	switch *abs {
+	case "both":
+		targets = []core.Abstraction{core.AbsHSAIL, core.AbsGCN3}
+	case "hsail":
+		targets = []core.Abstraction{core.AbsHSAIL}
+	case "gcn3":
+		targets = []core.Abstraction{core.AbsGCN3}
+	default:
+		fatal(fmt.Errorf("unknown abstraction %q", *abs))
+	}
+
+	if !*asJSON {
+		fmt.Printf("workload %s (scale %d) on:\n%s\n\n", w.Name, *scale, cfg)
+	}
+	var runs []*stats.Run
+	for _, a := range targets {
+		run, m, err := sim.Run(a, w.Name, inst.Setup, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := inst.Check(m); err != nil {
+			fatal(fmt.Errorf("output check failed: %w", err))
+		}
+		runs = append(runs, run)
+		if !*asJSON {
+			printRun(run, *values, *reuse)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport(runs, *scale)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(runs) == 2 {
+		h, g := runs[0], runs[1]
+		fmt.Printf("GCN3/HSAIL: insts %.2fx, cycles %.2fx, footprint %.2fx, conflicts %.2fx, flushes %.2fx\n",
+			float64(g.TotalInsts())/float64(h.TotalInsts()),
+			float64(g.Cycles)/float64(h.Cycles),
+			float64(g.CodeFootprintBytes)/float64(h.CodeFootprintBytes),
+			ratio(g.VRFBankConflicts, h.VRFBankConflicts),
+			ratio(g.IBFlushes, h.IBFlushes))
+	}
+}
+
+// jsonRun is the machine-readable projection of one run.
+type jsonRun struct {
+	Abstraction      string            `json:"abstraction"`
+	Workload         string            `json:"workload"`
+	Cycles           uint64            `json:"cycles"`
+	KernelLaunches   uint64            `json:"kernelLaunches"`
+	Instructions     uint64            `json:"instructions"`
+	IPC              float64           `json:"ipc"`
+	Mix              map[string]uint64 `json:"mix"`
+	CodeFootprint    uint64            `json:"codeFootprintBytes"`
+	DataFootprint    uint64            `json:"dataFootprintBytes"`
+	SIMDUtilization  float64           `json:"simdUtilization"`
+	VRFBankConflicts uint64            `json:"vrfBankConflicts"`
+	IBFlushes        uint64            `json:"ibFlushes"`
+	Redirects        uint64            `json:"redirects"`
+	FetchStallCycles uint64            `json:"fetchStallCycles"`
+	L1DMisses        uint64            `json:"l1dMisses"`
+	L1DAccesses      uint64            `json:"l1dAccesses"`
+	L1IMisses        uint64            `json:"l1iMisses"`
+	L1IAccesses      uint64            `json:"l1iAccesses"`
+	L2Misses         uint64            `json:"l2Misses"`
+	L2Accesses       uint64            `json:"l2Accesses"`
+	ReuseMedian      uint32            `json:"reuseMedian,omitempty"`
+	ReadUniqueness   float64           `json:"readUniqueness,omitempty"`
+	WriteUniqueness  float64           `json:"writeUniqueness,omitempty"`
+	PerKernelCycles  []uint64          `json:"perKernelCycles"`
+}
+
+func jsonReport(runs []*stats.Run, scale int) map[string]any {
+	out := map[string]any{"scale": scale}
+	for _, r := range runs {
+		j := jsonRun{
+			Abstraction: r.Abstraction, Workload: r.Workload,
+			Cycles: r.Cycles, KernelLaunches: r.KernelLaunches,
+			Instructions: r.TotalInsts(), IPC: r.IPC(),
+			Mix:           map[string]uint64{},
+			CodeFootprint: r.CodeFootprintBytes, DataFootprint: r.DataFootprintBytes,
+			SIMDUtilization:  r.SIMDUtilization(),
+			VRFBankConflicts: r.VRFBankConflicts, IBFlushes: r.IBFlushes,
+			Redirects: r.Redirects, FetchStallCycles: r.FetchStallCycles,
+			L1DMisses: r.L1DMisses, L1DAccesses: r.L1DAccesses,
+			L1IMisses: r.L1IMisses, L1IAccesses: r.L1IAccesses,
+			L2Misses: r.L2Misses, L2Accesses: r.L2Accesses,
+			ReuseMedian:     r.Reuse.Median(),
+			ReadUniqueness:  r.ReadUniqueness(),
+			WriteUniqueness: r.WriteUniqueness(),
+			PerKernelCycles: r.KernelCycles,
+		}
+		for c := 0; c < isa.NumCategories; c++ {
+			if r.InstsByCategory[c] > 0 {
+				j.Mix[isa.Category(c).String()] = r.InstsByCategory[c]
+			}
+		}
+		out[r.Abstraction] = j
+	}
+	return out
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func printRun(r *stats.Run, values, reuse bool) {
+	fmt.Printf("--- %s ---\n", r.Abstraction)
+	fmt.Printf("  cycles            %12d   (%d kernel launches)\n", r.Cycles, r.KernelLaunches)
+	fmt.Printf("  instructions      %12d   IPC %.3f\n", r.TotalInsts(), r.IPC())
+	fmt.Print("  mix              ")
+	for c := 0; c < isa.NumCategories; c++ {
+		if r.InstsByCategory[c] > 0 {
+			fmt.Printf(" %s=%d", isa.Category(c), r.InstsByCategory[c])
+		}
+	}
+	fmt.Println()
+	fmt.Printf("  code footprint    %12d bytes\n", r.CodeFootprintBytes)
+	fmt.Printf("  data footprint    %12d bytes\n", r.DataFootprintBytes)
+	fmt.Printf("  SIMD utilization  %11.1f%%\n", 100*r.SIMDUtilization())
+	fmt.Printf("  VRF bank conflicts%12d   (%.2f per kilo-inst)\n", r.VRFBankConflicts, r.ConflictsPerKiloInst())
+	fmt.Printf("  IB flushes        %12d   (redirects %d, fetch stalls %d)\n", r.IBFlushes, r.Redirects, r.FetchStallCycles)
+	fmt.Printf("  L1D %d/%d  L1I %d/%d  sL1 %d/%d  L2 %d/%d (miss/access)\n",
+		r.L1DMisses, r.L1DAccesses, r.L1IMisses, r.L1IAccesses,
+		r.ScalarL1Misses, r.ScalarL1Accesses, r.L2Misses, r.L2Accesses)
+	if reuse {
+		fmt.Printf("  reuse distance    %12d median (%d samples)\n", r.Reuse.Median(), r.Reuse.N())
+	}
+	if values {
+		fmt.Printf("  value uniqueness  %10.1f%% reads, %.1f%% writes\n",
+			100*r.ReadUniqueness(), 100*r.WriteUniqueness())
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ilsim:", err)
+	os.Exit(1)
+}

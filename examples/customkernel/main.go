@@ -1,0 +1,102 @@
+// Custom-kernel authoring: everything the builder API offers in one kernel —
+// structured control flow (divergent if), LDS staging with barriers,
+// per-lane atomics, and the dual disassembly that shows how the finalizer
+// treats each construct.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ilsim/internal/core"
+	"ilsim/internal/finalizer"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+)
+
+func main() {
+	// Rotated histogram: each work-item stages its value in LDS, a
+	// barrier publishes it, every lane then classifies its NEIGHBOR's
+	// value (exercising LDS communication) and bumps a global histogram
+	// bin with an atomic — except lanes whose value is below a threshold,
+	// which take a divergent early-out (a structured if).
+	const bins = 16
+	b := kernel.NewBuilder("rotate_histogram")
+	inArg := b.ArgPtr("in")
+	histArg := b.ArgPtr("hist")
+	b.SetGroupSize(64 * 4)
+
+	lid := b.WorkItemID(isa.DimX)
+	gid := b.WorkItemAbsID(isa.DimX)
+
+	// Stage this lane's value into LDS and publish with a barrier.
+	off := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2))
+	x := b.Load(hsail.SegGlobal, isa.TypeU32, b.Add(isa.TypeU64, b.LoadArg(inArg), off), 0)
+	ldsOff := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, lid), b.Int(isa.TypeU64, 2))
+	b.Store(hsail.SegGroup, x, ldsOff, 0)
+	b.Barrier()
+
+	// Read the neighbor's value: lds[(lid+1) % 64].
+	nb := b.And(isa.TypeU32, b.Add(isa.TypeU32, lid, b.Int(isa.TypeU32, 1)), b.Int(isa.TypeU32, 63))
+	nbOff := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, nb), b.Int(isa.TypeU64, 2))
+	y := b.Load(hsail.SegGroup, isa.TypeU32, nbOff, 0)
+
+	// Divergent early-out: small values are not histogrammed.
+	b.IfCmp(isa.CmpGe, isa.TypeU32, y, b.Int(isa.TypeU32, 1<<16), func() {
+		bin := b.Shr(isa.TypeU32, y, b.Int(isa.TypeU32, 28))
+		gOff := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, bin), b.Int(isa.TypeU64, 2))
+		gAddr := b.Add(isa.TypeU64, b.LoadArg(histArg), gOff)
+		b.AtomicAdd(hsail.SegGlobal, isa.TypeU32, b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 1)), gAddr, 0)
+	}, nil)
+	b.Ret()
+
+	ks, err := core.PrepareKernel(b.MustFinish(), finalizer.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HSAIL:\n%s\nGCN3:\n%s\n", ks.HSAIL.Disassemble(), ks.GCN3.Program.Disassemble())
+
+	sim, err := core.NewSimulator(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 2048
+	var inAddr, histAddr uint64
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i) * 2654435761
+	}
+	setup := func(m *core.Machine) error {
+		inAddr = m.Ctx.AllocBuffer(4 * n)
+		histAddr = m.Ctx.AllocBuffer(4 * bins)
+		for i, v := range vals {
+			m.Ctx.Mem.WriteU32(inAddr+uint64(4*i), v)
+		}
+		return m.Submit(core.Launch{Kernel: ks,
+			Grid: [3]uint32{n, 1, 1}, WG: [3]uint16{64, 1, 1},
+			Args: []uint64{inAddr, histAddr}})
+	}
+	want := make([]uint32, bins)
+	for i := range vals {
+		wg, lane := i/64, i%64
+		y := vals[wg*64+(lane+1)%64]
+		if y >= 1<<16 {
+			want[y>>28]++
+		}
+	}
+	for _, abs := range []core.Abstraction{core.AbsHSAIL, core.AbsGCN3} {
+		run, m, err := sim.Run(abs, "histogram", setup, core.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for bi := 0; bi < bins; bi++ {
+			if got := m.Ctx.Mem.ReadU32(histAddr + uint64(4*bi)); got != want[bi] {
+				log.Fatalf("%s: hist[%d] = %d, want %d", abs, bi, got, want[bi])
+			}
+		}
+		fmt.Printf("%-5s: histogram correct; %d insts, %d cycles\n", abs, run.TotalInsts(), run.Cycles)
+	}
+}

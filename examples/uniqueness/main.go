@@ -1,0 +1,57 @@
+// Value-uniqueness case study: the paper's Figure 10 narrative. A streaming
+// kernel (ArrayBW-like) UNDERestimates operand uniqueness under HSAIL, while
+// a special-segment-heavy kernel (LULESH-like) OVERestimates it — the ISA,
+// not the application, decides what a value-compression study would see.
+//
+//	go run ./examples/uniqueness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ilsim/internal/core"
+	"ilsim/internal/workloads"
+)
+
+func main() {
+	sim, err := core.NewSimulator(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.RunOptions{TrackValues: true, ValueSampleEvery: 1}
+
+	fmt.Println("VRF lane-value uniqueness (unique values / active lanes, reads):")
+	fmt.Println("workload        HSAIL     GCN3    direction")
+	for _, name := range []string{"ArrayBW", "LULESH"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := w.Prepare(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var u [2]float64
+		for i, abs := range []core.Abstraction{core.AbsHSAIL, core.AbsGCN3} {
+			run, m, err := sim.Run(abs, name, inst.Setup, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := inst.Check(m); err != nil {
+				log.Fatal(err)
+			}
+			u[i] = run.ReadUniqueness()
+		}
+		dir := "HSAIL underestimates"
+		if u[0] > u[1] {
+			dir = "HSAIL overestimates"
+		}
+		fmt.Printf("%-12s %7.1f%% %8.1f%%    %s\n", name, 100*u[0], 100*u[1], dir)
+	}
+	fmt.Println()
+	fmt.Println("Why: GCN3 exposes base-address materialization and per-lane IDs to the")
+	fmt.Println("VRF (raising streaming kernels' uniqueness), while moving uniform values")
+	fmt.Println("to SGPRs; special-segment address arithmetic hidden by HSAIL's emulated")
+	fmt.Println("ABI shows up as redundant lane values under GCN3 — paper §V.D.")
+}

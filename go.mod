@@ -1,0 +1,3 @@
+module ilsim
+
+go 1.22

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ilsim/internal/finalizer"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+	"ilsim/internal/stats"
+)
+
+// runBoth prepares a kernel, runs the same launch functionally under both
+// abstractions (with identical input initialization), and returns both
+// machines for output comparison.
+func runBoth(t *testing.T, k *hsail.Kernel, grid, wg int, args func(m *Machine) []uint64, init func(m *Machine)) (*Machine, *Machine) {
+	t.Helper()
+	ks, err := PrepareKernel(k, finalizer.Options{})
+	if err != nil {
+		t.Fatalf("PrepareKernel: %v", err)
+	}
+	var machines []*Machine
+	for _, abs := range []Abstraction{AbsHSAIL, AbsGCN3} {
+		run := &stats.Run{Workload: k.Name}
+		m := NewMachine(abs, run)
+		if init != nil {
+			init(m)
+		}
+		l := Launch{Kernel: ks, Grid: [3]uint32{uint32(grid), 1, 1}, WG: [3]uint16{uint16(wg), 1, 1}, Args: args(m)}
+		if err := m.Submit(l); err != nil {
+			t.Fatalf("%s: Submit: %v", abs, err)
+		}
+		if err := m.RunFunctional(); err != nil {
+			t.Fatalf("%s: RunFunctional: %v", abs, err)
+		}
+		machines = append(machines, m)
+	}
+	return machines[0], machines[1]
+}
+
+// alloc reserves identical buffers on a machine and fills them via fill.
+func fillU32(m *Machine, addr uint64, vals []uint32) {
+	for i, v := range vals {
+		m.Ctx.Mem.WriteU32(addr+uint64(4*i), v)
+	}
+}
+
+func readU32s(m *Machine, addr uint64, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = m.Ctx.Mem.ReadU32(addr + uint64(4*i))
+	}
+	return out
+}
+
+func compareU32(t *testing.T, name string, h, g *Machine, addr uint64, n int) {
+	t.Helper()
+	hv := readU32s(h, addr, n)
+	gv := readU32s(g, addr, n)
+	for i := range hv {
+		if hv[i] != gv[i] {
+			t.Fatalf("%s: output[%d]: HSAIL %#x != GCN3 %#x", name, i, hv[i], gv[i])
+		}
+	}
+}
+
+// TestVecAddEquivalence: out[i] = a[i] + b[i], the canonical kernel: kernarg
+// loads, absolute work-item IDs, address arithmetic, flat loads and stores.
+func TestVecAddEquivalence(t *testing.T) {
+	const n = 256
+	b := kernel.NewBuilder("vec_add")
+	aArg := b.ArgPtr("a")
+	bArg := b.ArgPtr("b")
+	oArg := b.ArgPtr("out")
+	gid := b.WorkItemAbsID(isa.DimX)
+	off := b.Cvt(isa.TypeU64, gid)
+	off4 := b.Shl(isa.TypeU64, off, b.Int(isa.TypeU64, 2))
+	aBase := b.LoadArg(aArg)
+	bBase := b.LoadArg(bArg)
+	oBase := b.LoadArg(oArg)
+	aAddr := b.Add(isa.TypeU64, aBase, off4)
+	bAddr := b.Add(isa.TypeU64, bBase, off4)
+	oAddr := b.Add(isa.TypeU64, oBase, off4)
+	av := b.Load(hsail.SegGlobal, isa.TypeU32, aAddr, 0)
+	bv := b.Load(hsail.SegGlobal, isa.TypeU32, bAddr, 0)
+	sum := b.Add(isa.TypeU32, av, bv)
+	b.Store(hsail.SegGlobal, sum, oAddr, 0)
+	b.Ret()
+	k := b.MustFinish()
+
+	var aAddrM, bAddrM, oAddrM uint64
+	h, g := runBoth(t, k, n, 64, func(m *Machine) []uint64 {
+		return []uint64{aAddrM, bAddrM, oAddrM}
+	}, func(m *Machine) {
+		aAddrM = m.Ctx.AllocBuffer(4 * n)
+		bAddrM = m.Ctx.AllocBuffer(4 * n)
+		oAddrM = m.Ctx.AllocBuffer(4 * n)
+		av := make([]uint32, n)
+		bv := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			av[i] = uint32(i * 3)
+			bv[i] = uint32(1000 - i)
+		}
+		fillU32(m, aAddrM, av)
+		fillU32(m, bAddrM, bv)
+	})
+	compareU32(t, "vec_add", h, g, oAddrM, n)
+	want := readU32s(g, oAddrM, n)
+	for i := range want {
+		if want[i] != uint32(i*3)+uint32(1000-i) {
+			t.Fatalf("vec_add wrong result at %d: %d", i, want[i])
+		}
+	}
+}
+
+// TestDivergenceEquivalence reproduces the paper's Figure 3 example: an
+// if-else-if writing 84 or 90 per lane depending on data-dependent
+// conditions.
+func TestDivergenceEquivalence(t *testing.T) {
+	const n = 128
+	b := kernel.NewBuilder("diverge")
+	inArg := b.ArgPtr("in")
+	outArg := b.ArgPtr("out")
+	gid := b.WorkItemAbsID(isa.DimX)
+	off4 := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2))
+	inAddr := b.Add(isa.TypeU64, b.LoadArg(inArg), off4)
+	outAddr := b.Add(isa.TypeU64, b.LoadArg(outArg), off4)
+	x := b.Load(hsail.SegGlobal, isa.TypeU32, inAddr, 0)
+	res := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	b.IfCmp(isa.CmpLt, isa.TypeU32, x, b.Int(isa.TypeU32, 10), func() {
+		b.MovTo(res, b.Int(isa.TypeU32, 84))
+	}, func() {
+		b.IfCmp(isa.CmpGe, isa.TypeU32, x, b.Int(isa.TypeU32, 20), func() {
+			b.MovTo(res, b.Int(isa.TypeU32, 90))
+		}, func() {
+			b.MovTo(res, b.Int(isa.TypeU32, 84))
+		})
+	})
+	b.Store(hsail.SegGlobal, res, outAddr, 0)
+	b.Ret()
+	k := b.MustFinish()
+
+	var inAddrM, outAddrM uint64
+	h, g := runBoth(t, k, n, 64, func(m *Machine) []uint64 {
+		return []uint64{inAddrM, outAddrM}
+	}, func(m *Machine) {
+		inAddrM = m.Ctx.AllocBuffer(4 * n)
+		outAddrM = m.Ctx.AllocBuffer(4 * n)
+		vals := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			vals[i] = uint32(i * 7 % 30)
+		}
+		fillU32(m, inAddrM, vals)
+	})
+	compareU32(t, "diverge", h, g, outAddrM, n)
+	got := readU32s(g, outAddrM, n)
+	for i := range got {
+		x := uint32(i * 7 % 30)
+		want := uint32(84)
+		if x >= 10 && x >= 20 {
+			want = 90
+		}
+		if got[i] != want {
+			t.Fatalf("diverge[%d]: got %d want %d (x=%d)", i, got[i], want, x)
+		}
+	}
+}
+
+// TestLoopEquivalence: data-dependent trip counts exercise the divergent
+// do-while latch under both abstractions.
+func TestLoopEquivalence(t *testing.T) {
+	const n = 128
+	b := kernel.NewBuilder("looper")
+	inArg := b.ArgPtr("in")
+	outArg := b.ArgPtr("out")
+	gid := b.WorkItemAbsID(isa.DimX)
+	off4 := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2))
+	inAddr := b.Add(isa.TypeU64, b.LoadArg(inArg), off4)
+	outAddr := b.Add(isa.TypeU64, b.LoadArg(outArg), off4)
+	limit := b.Load(hsail.SegGlobal, isa.TypeU32, inAddr, 0)
+	sum := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	i := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	b.WhileCmp(isa.CmpLt, isa.TypeU32, i, limit, func() {
+		b.BinaryTo(hsail.OpAdd, sum, sum, i)
+		b.BinaryTo(hsail.OpAdd, i, i, b.Int(isa.TypeU32, 1))
+	})
+	b.Store(hsail.SegGlobal, sum, outAddr, 0)
+	b.Ret()
+	k := b.MustFinish()
+
+	var inAddrM, outAddrM uint64
+	h, g := runBoth(t, k, n, 64, func(m *Machine) []uint64 {
+		return []uint64{inAddrM, outAddrM}
+	}, func(m *Machine) {
+		inAddrM = m.Ctx.AllocBuffer(4 * n)
+		outAddrM = m.Ctx.AllocBuffer(4 * n)
+		vals := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			vals[i] = uint32(i % 17)
+		}
+		fillU32(m, inAddrM, vals)
+	})
+	compareU32(t, "looper", h, g, outAddrM, n)
+	got := readU32s(g, outAddrM, n)
+	for idx := range got {
+		lim := uint32(idx % 17)
+		want := lim * (lim - 1) / 2
+		if lim == 0 {
+			want = 0
+		}
+		if got[idx] != want {
+			t.Fatalf("looper[%d]: got %d want %d", idx, got[idx], want)
+		}
+	}
+}
+
+// TestFloatDivEquivalence checks the Table 3 Newton-Raphson expansion
+// produces accurate f64 quotients.
+func TestFloatDivEquivalence(t *testing.T) {
+	const n = 64
+	b := kernel.NewBuilder("fdiv")
+	aArg := b.ArgPtr("a")
+	bArg := b.ArgPtr("b")
+	oArg := b.ArgPtr("out")
+	gid := b.WorkItemAbsID(isa.DimX)
+	off8 := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 3))
+	aAddr := b.Add(isa.TypeU64, b.LoadArg(aArg), off8)
+	bAddr := b.Add(isa.TypeU64, b.LoadArg(bArg), off8)
+	oAddr := b.Add(isa.TypeU64, b.LoadArg(oArg), off8)
+	num := b.Load(hsail.SegGlobal, isa.TypeF64, aAddr, 0)
+	den := b.Load(hsail.SegGlobal, isa.TypeF64, bAddr, 0)
+	q := b.Div(isa.TypeF64, num, den)
+	b.Store(hsail.SegGlobal, q, oAddr, 0)
+	b.Ret()
+	k := b.MustFinish()
+
+	var aAddrM, bAddrM, oAddrM uint64
+	h, g := runBoth(t, k, n, 64, func(m *Machine) []uint64 {
+		return []uint64{aAddrM, bAddrM, oAddrM}
+	}, func(m *Machine) {
+		aAddrM = m.Ctx.AllocBuffer(8 * n)
+		bAddrM = m.Ctx.AllocBuffer(8 * n)
+		oAddrM = m.Ctx.AllocBuffer(8 * n)
+		for i := 0; i < n; i++ {
+			m.Ctx.Mem.WriteU64(aAddrM+uint64(8*i), math.Float64bits(float64(i+1)*1.5))
+			m.Ctx.Mem.WriteU64(bAddrM+uint64(8*i), math.Float64bits(float64(i%7)+0.25))
+		}
+	})
+	for i := 0; i < n; i++ {
+		want := (float64(i+1) * 1.5) / (float64(i%7) + 0.25)
+		hg := math.Float64frombits(h.Ctx.Mem.ReadU64(oAddrM + uint64(8*i)))
+		gg := math.Float64frombits(g.Ctx.Mem.ReadU64(oAddrM + uint64(8*i)))
+		if math.Abs(hg-want)/want > 1e-12 {
+			t.Fatalf("fdiv HSAIL[%d]: got %g want %g", i, hg, want)
+		}
+		if math.Abs(gg-want)/want > 1e-9 {
+			t.Fatalf("fdiv GCN3[%d]: got %g want %g", i, gg, want)
+		}
+	}
+}
+
+// TestPrivateSegmentEquivalence: per-work-item private memory (spill/fill),
+// where the two ABIs differ most (paper §VI.A).
+func TestPrivateSegmentEquivalence(t *testing.T) {
+	const n = 128
+	b := kernel.NewBuilder("private_seg")
+	outArg := b.ArgPtr("out")
+	b.SetPrivateSize(16)
+	gid := b.WorkItemAbsID(isa.DimX)
+	off4 := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2))
+	outAddr := b.Add(isa.TypeU64, b.LoadArg(outArg), off4)
+	// Spill two values to private memory, reload in reverse order.
+	v1 := b.Mul(isa.TypeU32, gid, b.Int(isa.TypeU32, 3))
+	v2 := b.Add(isa.TypeU32, gid, b.Int(isa.TypeU32, 100))
+	b.Store(hsail.SegPrivate, v1, kernel.NoBase, 0)
+	b.Store(hsail.SegPrivate, v2, kernel.NoBase, 4)
+	r2 := b.Load(hsail.SegPrivate, isa.TypeU32, kernel.NoBase, 4)
+	r1 := b.Load(hsail.SegPrivate, isa.TypeU32, kernel.NoBase, 0)
+	sum := b.Add(isa.TypeU32, r1, r2)
+	b.Store(hsail.SegGlobal, sum, outAddr, 0)
+	b.Ret()
+	k := b.MustFinish()
+
+	var outAddrM uint64
+	h, g := runBoth(t, k, n, 64, func(m *Machine) []uint64 {
+		return []uint64{outAddrM}
+	}, func(m *Machine) {
+		outAddrM = m.Ctx.AllocBuffer(4 * n)
+	})
+	compareU32(t, "private_seg", h, g, outAddrM, n)
+	got := readU32s(g, outAddrM, n)
+	for i := range got {
+		want := uint32(i*3) + uint32(i+100)
+		if got[i] != want {
+			t.Fatalf("private_seg[%d]: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+// TestLDSEquivalence: group-segment staging with a workgroup barrier.
+func TestLDSEquivalence(t *testing.T) {
+	const n = 128
+	b := kernel.NewBuilder("lds_reverse")
+	inArg := b.ArgPtr("in")
+	outArg := b.ArgPtr("out")
+	b.SetGroupSize(64 * 4)
+	lid := b.WorkItemID(isa.DimX)
+	gid := b.WorkItemAbsID(isa.DimX)
+	off4 := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2))
+	inAddr := b.Add(isa.TypeU64, b.LoadArg(inArg), off4)
+	outAddr := b.Add(isa.TypeU64, b.LoadArg(outArg), off4)
+	x := b.Load(hsail.SegGlobal, isa.TypeU32, inAddr, 0)
+	ldsOff := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, lid), b.Int(isa.TypeU64, 2))
+	b.Store(hsail.SegGroup, x, ldsOff, 0)
+	b.Barrier()
+	// Read the mirrored element: lds[63 - lid].
+	rev := b.Sub(isa.TypeU32, b.Int(isa.TypeU32, 63), lid)
+	revOff := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, rev), b.Int(isa.TypeU64, 2))
+	y := b.Load(hsail.SegGroup, isa.TypeU32, revOff, 0)
+	b.Store(hsail.SegGlobal, y, outAddr, 0)
+	b.Ret()
+	k := b.MustFinish()
+
+	var inAddrM, outAddrM uint64
+	h, g := runBoth(t, k, n, 64, func(m *Machine) []uint64 {
+		return []uint64{inAddrM, outAddrM}
+	}, func(m *Machine) {
+		inAddrM = m.Ctx.AllocBuffer(4 * n)
+		outAddrM = m.Ctx.AllocBuffer(4 * n)
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(i * 11)
+		}
+		fillU32(m, inAddrM, vals)
+	})
+	compareU32(t, "lds_reverse", h, g, outAddrM, n)
+	got := readU32s(g, outAddrM, n)
+	for i := range got {
+		wg, lane := i/64, i%64
+		want := uint32((wg*64 + (63 - lane)) * 11)
+		if got[i] != want {
+			t.Fatalf("lds_reverse[%d]: got %d want %d", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"ilsim/internal/emu"
+	"ilsim/internal/finalizer"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+	"ilsim/internal/stats"
+)
+
+// TestFigure3RedirectCounts reproduces the paper's Figure 3 walkthrough: an
+// if-else where some lanes take each path. The HSAIL reconvergence stack
+// must initiate exactly THREE front-end redirects (jump to the taken path,
+// pop to the divergent path, final pop to the reconvergence point), while
+// the predicated GCN3 code executes the whole construct with NO redirects
+// (the bypass branches fall through because both paths have active lanes).
+func TestFigure3RedirectCounts(t *testing.T) {
+	b := kernel.NewBuilder("fig3")
+	outArg := b.ArgPtr("out")
+	gid := b.WorkItemAbsID(isa.DimX)
+	res := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	// Lanes 0..31 take the else path, 32..63 the then path.
+	b.IfCmp(isa.CmpLt, isa.TypeU32, gid, b.Int(isa.TypeU32, 32), func() {
+		b.MovTo(res, b.Int(isa.TypeU32, 84))
+	}, func() {
+		b.MovTo(res, b.Int(isa.TypeU32, 90))
+	})
+	outAddr := b.Add(isa.TypeU64, b.LoadArg(outArg),
+		b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2)))
+	b.Store(hsail.SegGlobal, res, outAddr, 0)
+	b.Ret()
+	ks, err := PrepareKernel(b.MustFinish(), finalizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	countRedirects := func(abs Abstraction) (int, *Machine) {
+		m := NewMachine(abs, &stats.Run{})
+		out := m.Ctx.AllocBuffer(4 * 64)
+		if err := m.Submit(Launch{Kernel: ks, Grid: [3]uint32{64, 1, 1},
+			WG: [3]uint16{64, 1, 1}, Args: []uint64{out}}); err != nil {
+			t.Fatal(err)
+		}
+		d, eng, err := m.NextDispatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg := emu.NewWGState(d, &d.Workgroups[0], eng.LDSBytes())
+		w := eng.NewWave(wg, 0)
+		redirects := 0
+		for !w.Done {
+			r, err := eng.Execute(w)
+			if err != nil {
+				t.Fatalf("%s: %v", abs, err)
+			}
+			if r.Redirected {
+				redirects++
+			}
+		}
+		// Verify results while we are here.
+		for i := 0; i < 64; i++ {
+			want := uint32(90)
+			if i < 32 {
+				want = 84
+			}
+			if got := m.Ctx.Mem.ReadU32(out + uint64(4*i)); got != want {
+				t.Fatalf("%s: out[%d] = %d, want %d", abs, i, got, want)
+			}
+		}
+		return redirects, m
+	}
+
+	hsailRedirects, _ := countRedirects(AbsHSAIL)
+	gcn3Redirects, _ := countRedirects(AbsGCN3)
+	if hsailRedirects != 3 {
+		t.Errorf("HSAIL redirects = %d, want exactly 3 (paper Figure 3b)", hsailRedirects)
+	}
+	if gcn3Redirects != 0 {
+		t.Errorf("GCN3 redirects = %d, want 0 (paper Figure 3c)", gcn3Redirects)
+	}
+}
+
+// TestFigure3UniformBranch: when ALL lanes agree, both abstractions take a
+// single redirect (HSAIL jumps to the taken path; GCN3's uniform branch is a
+// real s_cbranch) or none — no reconvergence machinery engages.
+func TestFigure3UniformBranch(t *testing.T) {
+	b := kernel.NewBuilder("uniform_branch")
+	outArg := b.ArgPtr("out")
+	gid := b.WorkItemAbsID(isa.DimX)
+	res := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	// Condition is uniform: every lane compares gid&0 (=0) against 1.
+	z := b.And(isa.TypeU32, gid, b.Int(isa.TypeU32, 0))
+	b.IfCmp(isa.CmpLt, isa.TypeU32, z, b.Int(isa.TypeU32, 1), func() {
+		b.MovTo(res, b.Int(isa.TypeU32, 84))
+	}, func() {
+		b.MovTo(res, b.Int(isa.TypeU32, 90))
+	})
+	outAddr := b.Add(isa.TypeU64, b.LoadArg(outArg),
+		b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2)))
+	b.Store(hsail.SegGlobal, res, outAddr, 0)
+	b.Ret()
+	ks, err := PrepareKernel(b.MustFinish(), finalizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, abs := range []Abstraction{AbsHSAIL, AbsGCN3} {
+		m := NewMachine(abs, &stats.Run{})
+		out := m.Ctx.AllocBuffer(4 * 64)
+		if err := m.Submit(Launch{Kernel: ks, Grid: [3]uint32{64, 1, 1},
+			WG: [3]uint16{64, 1, 1}, Args: []uint64{out}}); err != nil {
+			t.Fatal(err)
+		}
+		d, eng, err := m.NextDispatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg := emu.NewWGState(d, &d.Workgroups[0], eng.LDSBytes())
+		w := eng.NewWave(wg, 0)
+		redirects := 0
+		for !w.Done {
+			r, err := eng.Execute(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Redirected {
+				redirects++
+			}
+		}
+		if redirects > 1 {
+			t.Errorf("%s: uniform branch caused %d redirects, want <= 1", abs, redirects)
+		}
+		for i := 0; i < 64; i++ {
+			if got := m.Ctx.Mem.ReadU32(out + uint64(4*i)); got != 84 {
+				t.Fatalf("%s: out[%d] = %d, want 84", abs, i, got)
+			}
+		}
+	}
+}

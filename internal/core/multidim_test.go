@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"ilsim/internal/finalizer"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+	"ilsim/internal/stats"
+)
+
+// TestTwoDimensionalDispatch checks 2-D work-item geometry under both
+// abstractions: the GCN3 ABI fills v0/v1 with per-dimension IDs (the real
+// amdhsa enable_vgpr_workitem_id mechanism) while HSAIL queries simulator
+// state.
+func TestTwoDimensionalDispatch(t *testing.T) {
+	const (
+		w, h   = 64, 32 // grid
+		wgX    = 16
+		wgY    = 8
+		stride = w
+	)
+	b := kernel.NewBuilder("grid2d")
+	outArg := b.ArgPtr("out")
+	lx := b.WorkItemID(isa.DimX)
+	ly := b.WorkItemID(isa.DimY)
+	gx := b.WorkGroupID(isa.DimX)
+	gy := b.WorkGroupID(isa.DimY)
+	sx := b.WorkGroupSize(isa.DimX)
+	sy := b.WorkGroupSize(isa.DimY)
+	// Global coordinates from the ABI pieces.
+	x := b.Mad(isa.TypeU32, gx, sx, lx)
+	y := b.Mad(isa.TypeU32, gy, sy, ly)
+	// out[y*stride + x] = y<<16 | x
+	idx := b.Mad(isa.TypeU32, y, b.Int(isa.TypeU32, stride), x)
+	val := b.Or(isa.TypeU32, b.Shl(isa.TypeU32, y, b.Int(isa.TypeU32, 16)), x)
+	addr := b.Add(isa.TypeU64, b.LoadArg(outArg),
+		b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, idx), b.Int(isa.TypeU64, 2)))
+	b.Store(hsail.SegGlobal, val, addr, 0)
+	b.Ret()
+	ks, err := PrepareKernel(b.MustFinish(), finalizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.GCN3.WorkItemIDDims != 2 {
+		t.Fatalf("WorkItemIDDims = %d, want 2", ks.GCN3.WorkItemIDDims)
+	}
+
+	for _, abs := range []Abstraction{AbsHSAIL, AbsGCN3} {
+		m := NewMachine(abs, &stats.Run{})
+		out := m.Ctx.AllocBuffer(4 * w * h)
+		err := m.Submit(Launch{Kernel: ks,
+			Grid: [3]uint32{w, h, 1}, WG: [3]uint16{wgX, wgY, 1},
+			Args: []uint64{out}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RunFunctional(); err != nil {
+			t.Fatalf("%s: %v", abs, err)
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				want := uint32(y<<16 | x)
+				got := m.Ctx.Mem.ReadU32(out + uint64(4*(y*stride+x)))
+				if got != want {
+					t.Fatalf("%s: out[%d][%d] = %#x, want %#x", abs, y, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestThreeDimensionalDispatch extends the check to z.
+func TestThreeDimensionalDispatch(t *testing.T) {
+	const (
+		nx, ny, nz = 16, 8, 4
+	)
+	b := kernel.NewBuilder("grid3d")
+	outArg := b.ArgPtr("out")
+	lx := b.WorkItemID(isa.DimX)
+	ly := b.WorkItemID(isa.DimY)
+	lz := b.WorkItemID(isa.DimZ)
+	gx := b.Mad(isa.TypeU32, b.WorkGroupID(isa.DimX), b.WorkGroupSize(isa.DimX), lx)
+	gy := b.Mad(isa.TypeU32, b.WorkGroupID(isa.DimY), b.WorkGroupSize(isa.DimY), ly)
+	gz := b.Mad(isa.TypeU32, b.WorkGroupID(isa.DimZ), b.WorkGroupSize(isa.DimZ), lz)
+	idx := b.Mad(isa.TypeU32, b.Mad(isa.TypeU32, gz, b.Int(isa.TypeU32, ny), gy),
+		b.Int(isa.TypeU32, nx), gx)
+	val := b.Add(isa.TypeU32, b.Mul(isa.TypeU32, gz, b.Int(isa.TypeU32, 1000)),
+		b.Mad(isa.TypeU32, gy, b.Int(isa.TypeU32, 100), gx))
+	addr := b.Add(isa.TypeU64, b.LoadArg(outArg),
+		b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, idx), b.Int(isa.TypeU64, 2)))
+	b.Store(hsail.SegGlobal, val, addr, 0)
+	b.Ret()
+	ks, err := PrepareKernel(b.MustFinish(), finalizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.GCN3.WorkItemIDDims != 3 {
+		t.Fatalf("WorkItemIDDims = %d, want 3", ks.GCN3.WorkItemIDDims)
+	}
+	for _, abs := range []Abstraction{AbsHSAIL, AbsGCN3} {
+		m := NewMachine(abs, &stats.Run{})
+		out := m.Ctx.AllocBuffer(4 * nx * ny * nz)
+		err := m.Submit(Launch{Kernel: ks,
+			Grid: [3]uint32{nx, ny, nz}, WG: [3]uint16{8, 4, 2},
+			Args: []uint64{out}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RunFunctional(); err != nil {
+			t.Fatalf("%s: %v", abs, err)
+		}
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					want := uint32(z*1000 + y*100 + x)
+					got := m.Ctx.Mem.ReadU32(out + uint64(4*((z*ny+y)*nx+x)))
+					if got != want {
+						t.Fatalf("%s: (%d,%d,%d) = %d, want %d", abs, x, y, z, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"ilsim/internal/finalizer"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+)
+
+// buildStreamKernel is a small ArrayBW-style streaming kernel used by the
+// timing smoke tests.
+func buildStreamKernel(t *testing.T) *KernelSource {
+	t.Helper()
+	b := kernel.NewBuilder("stream")
+	inArg := b.ArgPtr("in")
+	outArg := b.ArgPtr("out")
+	nArg := b.ArgU32("iters")
+	gid := b.WorkItemAbsID(isa.DimX)
+	off4 := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, gid), b.Int(isa.TypeU64, 2))
+	inAddr := b.Add(isa.TypeU64, b.LoadArg(inArg), off4)
+	outAddr := b.Add(isa.TypeU64, b.LoadArg(outArg), off4)
+	iters := b.LoadArg(nArg)
+	sum := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	i := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	stride := b.Shl(isa.TypeU64, b.Cvt(isa.TypeU64, b.GridSize(isa.DimX)), b.Int(isa.TypeU64, 2))
+	cur := b.Mov(isa.TypeU64, inAddr)
+	b.WhileCmp(isa.CmpLt, isa.TypeU32, i, iters, func() {
+		v := b.Load(hsail.SegGlobal, isa.TypeU32, cur, 0)
+		b.BinaryTo(hsail.OpAdd, sum, sum, v)
+		b.BinaryTo(hsail.OpAdd, cur, cur, stride)
+		b.BinaryTo(hsail.OpAdd, i, i, b.Int(isa.TypeU32, 1))
+	})
+	b.Store(hsail.SegGlobal, sum, outAddr, 0)
+	b.Ret()
+	ks, err := PrepareKernel(b.MustFinish(), finalizer.Options{})
+	if err != nil {
+		t.Fatalf("PrepareKernel: %v", err)
+	}
+	return ks
+}
+
+func TestTimedRunBothAbstractions(t *testing.T) {
+	const n, iters = 1024, 8
+	ks := buildStreamKernel(t)
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inAddr, outAddr uint64
+	setup := func(m *Machine) error {
+		inAddr = m.Ctx.AllocBuffer(4 * n * iters)
+		outAddr = m.Ctx.AllocBuffer(4 * n)
+		for i := 0; i < n*iters; i++ {
+			m.Ctx.Mem.WriteU32(inAddr+uint64(4*i), uint32(i%97))
+		}
+		return m.Submit(Launch{
+			Kernel: ks,
+			Grid:   [3]uint32{n, 1, 1},
+			WG:     [3]uint16{64, 1, 1},
+			Args:   []uint64{inAddr, outAddr, iters},
+		})
+	}
+	h, _, err := sim.Run(AbsHSAIL, "stream", setup, RunOptions{})
+	if err != nil {
+		t.Fatalf("HSAIL run: %v", err)
+	}
+	g, gm, err := sim.Run(AbsGCN3, "stream", setup, RunOptions{})
+	if err != nil {
+		t.Fatalf("GCN3 run: %v", err)
+	}
+
+	// Output correctness on the timed path.
+	for i := 0; i < n; i++ {
+		want := uint32(0)
+		for k := 0; k < iters; k++ {
+			want += uint32((i + k*n) % 97)
+		}
+		if got := gm.Ctx.Mem.ReadU32(outAddr + uint64(4*i)); got != want {
+			t.Fatalf("timed GCN3 output[%d] = %d, want %d", i, got, want)
+		}
+	}
+
+	if h.Cycles == 0 || g.Cycles == 0 {
+		t.Fatalf("zero cycle counts: HSAIL %d, GCN3 %d", h.Cycles, g.Cycles)
+	}
+	if h.TotalInsts() == 0 || g.TotalInsts() == 0 {
+		t.Fatal("zero instruction counts")
+	}
+	// The machine ISA must execute more instructions (code expansion).
+	ratio := float64(g.TotalInsts()) / float64(h.TotalInsts())
+	if ratio < 1.2 || ratio > 4.0 {
+		t.Errorf("GCN3/HSAIL dynamic instruction ratio %.2f outside the paper's 1.5-3x band", ratio)
+	}
+	// HSAIL must never execute scalar instructions.
+	if h.InstsByCategory[isa.CatSALU] != 0 || h.InstsByCategory[isa.CatSMem] != 0 ||
+		h.InstsByCategory[isa.CatWaitcnt] != 0 {
+		t.Error("HSAIL produced scalar/waitcnt instructions")
+	}
+	// GCN3 must use the scalar pipeline.
+	if g.InstsByCategory[isa.CatSALU] == 0 || g.InstsByCategory[isa.CatSMem] == 0 {
+		t.Error("GCN3 did not use the scalar pipeline")
+	}
+	// Code footprint: GCN3's true encoding is larger than HSAIL's 8B/inst.
+	if g.CodeFootprintBytes <= h.CodeFootprintBytes {
+		t.Errorf("code footprint: GCN3 %d <= HSAIL %d", g.CodeFootprintBytes, h.CodeFootprintBytes)
+	}
+	t.Logf("HSAIL: %v", h)
+	t.Logf("GCN3:  %v", g)
+	t.Logf("insts ratio %.2f, footprint ratio %.2f, conflicts H=%d G=%d, flushes H=%d G=%d",
+		ratio, float64(g.CodeFootprintBytes)/float64(h.CodeFootprintBytes),
+		h.VRFBankConflicts, g.VRFBankConflicts, h.IBFlushes, g.IBFlushes)
+}

@@ -1,0 +1,191 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ilsim/internal/isa"
+)
+
+func TestBinOpU32AgainstGo(t *testing.T) {
+	f := func(a, b uint32) bool {
+		av, bv := uint64(a), uint64(b)
+		shiftB := uint64(b & 31)
+		checks := []struct {
+			kind binOpKind
+			x    uint64
+			want uint32
+		}{
+			{binAdd, binOp(binAdd, isa.TypeU32, av, bv), a + b},
+			{binSub, binOp(binSub, isa.TypeU32, av, bv), a - b},
+			{binMul, binOp(binMul, isa.TypeU32, av, bv), a * b},
+			{binMulHi, binOp(binMulHi, isa.TypeU32, av, bv), uint32(uint64(a) * uint64(b) >> 32)},
+			{binAnd, binOp(binAnd, isa.TypeU32, av, bv), a & b},
+			{binOr, binOp(binOr, isa.TypeU32, av, bv), a | b},
+			{binXor, binOp(binXor, isa.TypeU32, av, bv), a ^ b},
+			{binShl, binOp(binShl, isa.TypeU32, av, shiftB), a << (b & 31)},
+			{binShr, binOp(binShr, isa.TypeU32, av, shiftB), a >> (b & 31)},
+		}
+		for _, c := range checks {
+			if uint32(c.x) != c.want {
+				return false
+			}
+		}
+		if b != 0 {
+			if uint32(binOp(binDiv, isa.TypeU32, av, bv)) != a/b {
+				return false
+			}
+			if uint32(binOp(binRem, isa.TypeU32, av, bv)) != a%b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinOpS32AgainstGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		av, bv := uint64(uint32(a)), uint64(uint32(b))
+		if int32(binOp(binAdd, isa.TypeS32, av, bv)) != a+b {
+			return false
+		}
+		if int32(binOp(binMin, isa.TypeS32, av, bv)) != min32(a, b) {
+			return false
+		}
+		if int32(binOp(binMax, isa.TypeS32, av, bv)) != max32(a, b) {
+			return false
+		}
+		if int32(binOp(binShr, isa.TypeS32, av, uint64(uint32(b)&31))) != a>>(uint32(b)&31) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBinOpF64AgainstGo(t *testing.T) {
+	f := func(a, b float64) bool {
+		av, bv := fromF64(a), fromF64(b)
+		cases := []struct {
+			got  uint64
+			want float64
+		}{
+			{binOp(binAdd, isa.TypeF64, av, bv), a + b},
+			{binOp(binSub, isa.TypeF64, av, bv), a - b},
+			{binOp(binMul, isa.TypeF64, av, bv), a * b},
+			{binOp(binDiv, isa.TypeF64, av, bv), a / b},
+			{fma(isa.TypeF64, av, bv, fromF64(1.5)), math.FMA(a, b, 1.5)},
+		}
+		for _, c := range cases {
+			want := fromF64(c.want)
+			if c.got != want && !(math.IsNaN(f64v(c.got)) && math.IsNaN(c.want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnOpSemantics(t *testing.T) {
+	if f64v(unOp(unSqrt, isa.TypeF64, fromF64(9))) != 3 {
+		t.Error("sqrt")
+	}
+	if f64v(unOp(unRcp, isa.TypeF64, fromF64(4))) != 0.25 {
+		t.Error("rcp")
+	}
+	if f64v(unOp(unRsqrt, isa.TypeF64, fromF64(4))) != 0.5 {
+		t.Error("rsqrt")
+	}
+	if f64v(unOp(unNeg, isa.TypeF64, fromF64(2.5))) != -2.5 {
+		t.Error("neg f64")
+	}
+	if int32(unOp(unAbs, isa.TypeS32, negU32(7))) != 7 {
+		t.Error("abs s32")
+	}
+	if uint32(unOp(unNot, isa.TypeB32, 0xF0F0F0F0)) != 0x0F0F0F0F {
+		t.Error("not b32")
+	}
+}
+
+func TestCompareSemantics(t *testing.T) {
+	// NaN handling: only Ne is true.
+	nan := fromF64(math.NaN())
+	one := fromF64(1.0)
+	if compare(isa.CmpEq, isa.TypeF64, nan, one) || !compare(isa.CmpNe, isa.TypeF64, nan, one) {
+		t.Error("NaN compare")
+	}
+	if compare(isa.CmpLt, isa.TypeF64, nan, one) || compare(isa.CmpGe, isa.TypeF64, nan, one) {
+		t.Error("NaN ordering should be false")
+	}
+	// Signed vs unsigned.
+	neg1 := uint64(uint32(0xFFFFFFFF))
+	if !compare(isa.CmpLt, isa.TypeS32, neg1, 1) {
+		t.Error("-1 < 1 signed")
+	}
+	if compare(isa.CmpLt, isa.TypeU32, neg1, 1) {
+		t.Error("0xFFFFFFFF < 1 unsigned")
+	}
+}
+
+func TestConvertSemantics(t *testing.T) {
+	cases := []struct {
+		dt, st isa.DataType
+		in     uint64
+		want   uint64
+	}{
+		{isa.TypeF32, isa.TypeU32, 7, fromF32(7)},
+		{isa.TypeU32, isa.TypeF32, fromF32(7.9), 7}, // truncation
+		{isa.TypeF64, isa.TypeF32, fromF32(1.5), fromF64(1.5)},
+		{isa.TypeF32, isa.TypeF64, fromF64(2.25), fromF32(2.25)},
+		{isa.TypeS64, isa.TypeS32, negU32(5), negI64(5)},
+		{isa.TypeU64, isa.TypeU32, 0xFFFFFFFF, 0xFFFFFFFF},
+		{isa.TypeU32, isa.TypeU64, 0x1_0000_0005, 5},
+		{isa.TypeS32, isa.TypeF64, fromF64(-3.7), negU32(3)},
+	}
+	for _, c := range cases {
+		if got := convert(c.dt, c.st, c.in); got != c.want {
+			t.Errorf("convert(%s←%s, %#x) = %#x, want %#x", c.dt, c.st, c.in, got, c.want)
+		}
+	}
+}
+
+func negI64(v int64) uint64 { return uint64(-v) }
+func negU32(v int32) uint64 { return uint64(uint32(-v)) }
+
+func TestDivFixupSpecials(t *testing.T) {
+	q := fromF64(42)
+	if !math.IsNaN(f64v(divFixup(isa.TypeF64, q, fromF64(0), fromF64(0)))) {
+		t.Error("0/0 should be NaN")
+	}
+	if !math.IsInf(f64v(divFixup(isa.TypeF64, q, fromF64(0), fromF64(3))), 1) {
+		t.Error("3/0 should be +Inf")
+	}
+	if f64v(divFixup(isa.TypeF64, q, fromF64(3), fromF64(0))) != 0 {
+		t.Error("0/3 should be 0")
+	}
+	if f64v(divFixup(isa.TypeF64, q, fromF64(3), fromF64(6))) != 42 {
+		t.Error("normal case should pass the quotient through")
+	}
+}

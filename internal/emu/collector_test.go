@@ -1,0 +1,86 @@
+package emu
+
+import (
+	"testing"
+
+	"ilsim/internal/isa"
+	"ilsim/internal/stats"
+)
+
+func TestCollectorNilSafety(t *testing.T) {
+	// A nil collector and a collector without a Run must be no-ops.
+	var c *Collector
+	c.OnCommit(isa.CatVALU, 64)
+	c.TickReuse(&Wave{})
+	c2 := &Collector{}
+	c2.OnCommit(isa.CatVALU, 64)
+	var vals [isa.WavefrontSize]uint32
+	c2.OnVRFValue(false, &vals, isa.FullMask(64))
+}
+
+func TestCollectorCommitCounts(t *testing.T) {
+	run := &stats.Run{}
+	c := &Collector{Run: run}
+	c.OnCommit(isa.CatVALU, 32)
+	c.OnCommit(isa.CatVALU, 64)
+	c.OnCommit(isa.CatSALU, 64)
+	if run.InstsByCategory[isa.CatVALU] != 2 || run.InstsByCategory[isa.CatSALU] != 1 {
+		t.Fatalf("category counts wrong: %v", run.InstsByCategory)
+	}
+	if run.VALUInsts != 2 || run.VALUActiveLanes != 96 {
+		t.Fatalf("VALU accounting wrong: %d insts, %d lanes", run.VALUInsts, run.VALUActiveLanes)
+	}
+	if run.SIMDUtilization() != 96.0/128.0 {
+		t.Fatalf("utilization %v", run.SIMDUtilization())
+	}
+}
+
+func TestCollectorValueSampling(t *testing.T) {
+	run := &stats.Run{}
+	c := &Collector{Run: run, TrackValues: true, ValueSampleEvery: 4}
+	var vals [isa.WavefrontSize]uint32
+	for i := range vals {
+		vals[i] = uint32(i % 4)
+	}
+	for i := 0; i < 16; i++ {
+		c.OnVRFValue(false, &vals, isa.FullMask(64))
+	}
+	// Sampling 1-in-4 over 16 accesses records 4 observations of 64 lanes.
+	if run.ReadLanes != 4*64 {
+		t.Fatalf("sampled lanes %d, want %d", run.ReadLanes, 4*64)
+	}
+	if run.ReadUnique != 4*4 {
+		t.Fatalf("sampled unique %d, want %d", run.ReadUnique, 4*4)
+	}
+	// Every-access sampling.
+	run2 := &stats.Run{}
+	c2 := &Collector{Run: run2, TrackValues: true, ValueSampleEvery: 1}
+	c2.OnVRFValue(true, &vals, isa.FullMask(32))
+	if run2.WriteLanes != 32 || run2.WriteUnique != 4 {
+		t.Fatalf("write sampling: %d lanes %d unique", run2.WriteLanes, run2.WriteUnique)
+	}
+}
+
+func TestRegListCapacity(t *testing.T) {
+	var l RegList
+	l.Add(0, 100) // over capacity: must clamp, not panic
+	if int(l.N) != len(l.Idx) {
+		t.Fatalf("N = %d, want %d", l.N, len(l.Idx))
+	}
+	got := l.Slice()
+	for i, r := range got {
+		if int(r) != i {
+			t.Fatalf("Idx[%d] = %d", i, r)
+		}
+	}
+}
+
+func TestWGStateLDSIsolation(t *testing.T) {
+	// Each workgroup gets its own LDS array.
+	a := NewWGState(nil, nil, 256)
+	b := NewWGState(nil, nil, 256)
+	a.LDS[0] = 7
+	if b.LDS[0] != 0 {
+		t.Fatal("LDS shared between workgroups")
+	}
+}

@@ -1,0 +1,87 @@
+package finalizer
+
+import (
+	"fmt"
+
+	"ilsim/internal/gcn3"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+)
+
+// Control-flow lowering (paper §III.C.1, Figure 3c).
+//
+// Because the EXEC mask is architecturally visible, structured control flow
+// linearizes into mask manipulation. Branch instructions survive only as
+// "bypass" jumps over regions with no active lanes and as loop back-edges;
+// the front end otherwise runs straight-line code with no reconvergence
+// stack and no simulator-initiated jumps.
+//
+//	if-then (guard at B, then-region, join J):
+//	    s_mov_b64  s[save], exec
+//	    s_andn2_b64 exec, exec, s[skip-mask]
+//	    s_cbranch_execz J          ; bypass an empty then
+//	    <then>
+//	  J: s_mov_b64 exec, s[save]   ; (join prefix)
+//
+//	if-then-else adds a flip at the else boundary (else prefix):
+//	    s_andn2_b64 exec, s[save], exec
+//	    s_cbranch_execz J          ; bypass an empty else
+//
+//	do-while latch (header H, join J):
+//	    s_mov_b64 s[save], exec    ; (pre-header suffix)
+//	  H: <body>
+//	    s_and_b64 exec, exec, s[continue-mask]
+//	    s_cbranch_execnz H
+//	  J: s_mov_b64 exec, s[save]   ; (join prefix)
+//
+// Branches with UNIFORM conditions (fused compare) skip all mask work and
+// lower to s_cmp + s_cbranch_scc — the scalar pipeline handling control flow.
+func (f *finalizer) lowerTerminator(e *emitter, in *hsail.Inst, block int, pendingCmp *hsail.Inst) error {
+	if in.Op == hsail.OpBr {
+		if f.dropBr[block] {
+			// The then-exit falls through into the else flip prefix.
+			return nil
+		}
+		e.emit(gcn3.Inst{Op: gcn3.OpSBranch, Target: blockTarget(int(in.Target))})
+		return nil
+	}
+
+	sh, ok := f.cfg.Shapes[block]
+	if !ok {
+		return fmt.Errorf("BB%d: conditional branch without a structured shape", block)
+	}
+	c := int(in.Srcs[0].Reg)
+	if f.cregs[c].fused {
+		if pendingCmp == nil {
+			return fmt.Errorf("BB%d: fused condition without a pending compare", block)
+		}
+		t := pendingCmp.SrcType
+		if t == isa.TypeB32 {
+			t = isa.TypeU32
+		}
+		e.emit(gcn3.Inst{Op: gcn3.OpSCmp, Type: t, Cmp: pendingCmp.Cmp,
+			Srcs: [3]gcn3.Operand{
+				e.operand32(pendingCmp.Srcs[0], t, 0),
+				e.operand32(pendingCmp.Srcs[1], t, 0),
+			}})
+		e.emit(gcn3.Inst{Op: gcn3.OpSCbranchSCC1, Target: blockTarget(int(in.Target))})
+		return nil
+	}
+
+	mask := gcn3.SReg(f.cregs[c].sreg)
+	switch sh.Kind {
+	case kernel.ShapeIfThen, kernel.ShapeIfThenElse:
+		save := f.condSave[block]
+		e.emit(gcn3.Inst{Op: gcn3.OpSMov, Type: isa.TypeB64, Dst: gcn3.SReg(save),
+			Srcs: [3]gcn3.Operand{gcn3.EXEC()}})
+		e.emit(gcn3.Inst{Op: gcn3.OpSAndN2, Type: isa.TypeB64, Dst: gcn3.EXEC(),
+			Srcs: [3]gcn3.Operand{gcn3.EXEC(), mask}})
+		e.emit(gcn3.Inst{Op: gcn3.OpSCbranchExecZ, Target: blockTarget(int(in.Target))})
+	case kernel.ShapeLoopLatch:
+		e.emit(gcn3.Inst{Op: gcn3.OpSAnd, Type: isa.TypeB64, Dst: gcn3.EXEC(),
+			Srcs: [3]gcn3.Operand{gcn3.EXEC(), mask}})
+		e.emit(gcn3.Inst{Op: gcn3.OpSCbranchExecNZ, Target: blockTarget(sh.Header)})
+	}
+	return nil
+}

@@ -1,0 +1,568 @@
+package finalizer
+
+import (
+	"fmt"
+	"math"
+
+	"ilsim/internal/gcn3"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+)
+
+// lowerInst lowers one non-control HSAIL instruction (terminators are
+// lowered by lowerTerminator in control.go).
+func (f *finalizer) lowerInst(e *emitter, in *hsail.Inst, block int, pendingCmp *hsail.Inst) error {
+	switch in.Op {
+	case hsail.OpNop:
+		e.emit(gcn3.Inst{Op: gcn3.OpSNop})
+	case hsail.OpMov:
+		f.lowerMov(e, in)
+	case hsail.OpCvt:
+		return f.lowerCvt(e, in)
+	case hsail.OpAdd, hsail.OpSub, hsail.OpMul, hsail.OpMulHi, hsail.OpMin,
+		hsail.OpMax, hsail.OpAnd, hsail.OpOr, hsail.OpXor, hsail.OpShl, hsail.OpShr:
+		return f.lowerBinary(e, in)
+	case hsail.OpDiv:
+		return f.lowerDiv(e, in)
+	case hsail.OpRem:
+		return f.lowerRem(e, in)
+	case hsail.OpMad, hsail.OpFma:
+		return f.lowerFmaLike(e, in)
+	case hsail.OpAbs, hsail.OpNeg, hsail.OpNot, hsail.OpSqrt, hsail.OpRsqrt:
+		return f.lowerUnary(e, in)
+	case hsail.OpCmp:
+		f.lowerCmp(e, in)
+	case hsail.OpCmov:
+		f.lowerCmov(e, in)
+	case hsail.OpWorkItemAbsId, hsail.OpWorkItemId, hsail.OpWorkGroupId,
+		hsail.OpWorkGroupSize, hsail.OpGridSize:
+		return f.lowerGeometry(e, in)
+	case hsail.OpLd, hsail.OpSt, hsail.OpAtomicAdd:
+		return f.lowerMemory(e, in)
+	case hsail.OpLda:
+		return f.lowerLda(e, in)
+	case hsail.OpBarrier:
+		e.emit(gcn3.Inst{Op: gcn3.OpSBarrier})
+	case hsail.OpRet:
+		e.emit(gcn3.Inst{Op: gcn3.OpSEndpgm})
+	case hsail.OpBr, hsail.OpCBr:
+		return f.lowerTerminator(e, in, block, pendingCmp)
+	default:
+		return fmt.Errorf("unlowerable HSAIL op %s", in.Op)
+	}
+	return nil
+}
+
+// vec64 resolves a 64-bit source operand for a whole-pair (VOP3-class)
+// vector operation. Register pairs pass through; immediates use an inline
+// constant when GCN3's rules allow (integers 0..64/-16..-1, and floats whose
+// f32 form expands exactly — the hardware widens inline/literal constants
+// f32→f64), otherwise they are materialized into a temporary VGPR pair with
+// two v_mov instructions, more of the code expansion HSAIL hides.
+func (f *finalizer) vec64(e *emitter, o hsail.Operand, t isa.DataType) gcn3.Operand {
+	if o.Kind == hsail.OperReg {
+		return f.slotOperand(int(o.Reg))
+	}
+	if o.Kind != hsail.OperImm {
+		e.fail("finalizer: bad 64-bit operand kind %d", o.Kind)
+		return gcn3.Operand{}
+	}
+	if t == isa.TypeF64 {
+		fv := math.Float64frombits(o.Imm)
+		if f32v := float32(fv); float64(f32v) == fv {
+			op := constOperand(isa.TypeF32, math.Float32bits(f32v))
+			if op.Kind == gcn3.OperInline {
+				return op
+			}
+		}
+	} else {
+		v := int64(o.Imm)
+		if v >= 0 && v <= 64 {
+			return gcn3.Inline(uint32(v))
+		}
+		if t == isa.TypeS64 && v >= -16 && v < 0 {
+			return gcn3.Inline(uint32(v))
+		}
+	}
+	tmp := e.vtmp(2)
+	e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: gcn3.VReg(tmp),
+		Srcs: [3]gcn3.Operand{constOperand(isa.TypeB32, uint32(o.Imm))}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: gcn3.VReg(tmp + 1),
+		Srcs: [3]gcn3.Operand{constOperand(isa.TypeB32, uint32(o.Imm>>32))}})
+	return gcn3.VReg(tmp)
+}
+
+// dstParts returns the GCN3 destination registers for each dword of the
+// HSAIL destination.
+func (f *finalizer) dstParts(in *hsail.Inst, t isa.DataType) []gcn3.Operand {
+	n := t.Regs()
+	if n == 0 {
+		n = 1
+	}
+	parts := make([]gcn3.Operand, n)
+	for i := 0; i < n; i++ {
+		parts[i] = f.slotOperand(int(in.Dst.Reg) + i)
+	}
+	return parts
+}
+
+func (f *finalizer) lowerMov(e *emitter, in *hsail.Inst) {
+	t := in.Type
+	dst := f.dstParts(in, t)
+	if f.isScalarSlot(int(in.Dst.Reg)) {
+		if t.Regs() == 2 && in.Srcs[0].Kind == hsail.OperReg {
+			e.emit(gcn3.Inst{Op: gcn3.OpSMov, Type: isa.TypeB64, Dst: dst[0],
+				Srcs: [3]gcn3.Operand{e.operand32(in.Srcs[0], t, 0)}})
+			return
+		}
+		for p := range dst {
+			e.emit(gcn3.Inst{Op: gcn3.OpSMov, Type: isa.TypeB32, Dst: dst[p],
+				Srcs: [3]gcn3.Operand{e.operand32(in.Srcs[0], t, p)}})
+		}
+		return
+	}
+	for p := range dst {
+		e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst[p],
+			Srcs: [3]gcn3.Operand{e.operand32(in.Srcs[0], t, p)}})
+	}
+}
+
+// intType reports an integer/bit data type.
+func intType(t isa.DataType) bool { return !t.IsFloat() && t != isa.TypeNone }
+
+func (f *finalizer) lowerCvt(e *emitter, in *hsail.Inst) error {
+	dt, st := in.Type, in.SrcType
+	dst := f.dstParts(in, dt)
+	scalar := f.isScalarSlot(int(in.Dst.Reg))
+	src := func(p int) gcn3.Operand { return e.operand32(in.Srcs[0], st, p) }
+
+	if intType(dt) && intType(st) {
+		mov := gcn3.OpVMov
+		if scalar {
+			mov = gcn3.OpSMov
+		}
+		e.emit(gcn3.Inst{Op: mov, Type: isa.TypeB32, Dst: dst[0], Srcs: [3]gcn3.Operand{src(0)}})
+		if dt.Regs() == 2 {
+			switch {
+			case st.Regs() == 2:
+				e.emit(gcn3.Inst{Op: mov, Type: isa.TypeB32, Dst: dst[1], Srcs: [3]gcn3.Operand{src(1)}})
+			case dt == isa.TypeS64 && st == isa.TypeS32:
+				if scalar {
+					e.emit(gcn3.Inst{Op: gcn3.OpSAshr, Type: isa.TypeS32, Dst: dst[1],
+						Srcs: [3]gcn3.Operand{src(0), gcn3.Inline(31)}})
+				} else {
+					e.vop2(gcn3.OpVAshr, isa.TypeS32, dst[1], gcn3.Inline(31), dst[0], gcn3.Operand{})
+				}
+			default:
+				e.emit(gcn3.Inst{Op: mov, Type: isa.TypeB32, Dst: dst[1], Srcs: [3]gcn3.Operand{gcn3.Inline(0)}})
+			}
+		}
+		return nil
+	}
+	// Float conversions execute on the vector pipeline.
+	if scalar {
+		return fmt.Errorf("cvt %s→%s cannot be scalar-homed", st, dt)
+	}
+	e.emit(gcn3.Inst{Op: gcn3.OpVCvt, Type: dt, SrcType: st, Dst: dst[0], Srcs: [3]gcn3.Operand{src(0)}})
+	return nil
+}
+
+func (f *finalizer) lowerBinary(e *emitter, in *hsail.Inst) error {
+	t := in.Type
+	dst := f.dstParts(in, t)
+	s0 := func(p int) gcn3.Operand { return e.operand32(in.Srcs[0], t, p) }
+	s1 := func(p int) gcn3.Operand { return e.operand32(in.Srcs[1], t, p) }
+	// Whole-pair forms for 64-bit VOP3 operations.
+	w0 := func() gcn3.Operand {
+		if t.Regs() == 2 {
+			return f.vec64(e, in.Srcs[0], t)
+		}
+		return s0(0)
+	}
+	w1 := func() gcn3.Operand {
+		if t.Regs() == 2 {
+			return f.vec64(e, in.Srcs[1], t)
+		}
+		return s1(0)
+	}
+
+	if f.isScalarSlot(int(in.Dst.Reg)) {
+		return f.lowerScalarBinary(e, in, dst, s0, s1)
+	}
+
+	switch in.Op {
+	case hsail.OpAdd, hsail.OpSub:
+		if t.IsFloat() {
+			op := gcn3.OpVAdd
+			if in.Op == hsail.OpSub {
+				op = gcn3.OpVSub
+			}
+			e.vop2(op, t, dst[0], w0(), w1(), gcn3.Operand{})
+			return nil
+		}
+		if t.Regs() == 2 {
+			if in.Op == hsail.OpSub {
+				return fmt.Errorf("64-bit vector subtract is not supported; negate and add")
+			}
+			e.add64(dst[0], dst[1], s0(0), s0(1), s1(0), s1(1))
+			return nil
+		}
+		op := gcn3.OpVAdd
+		if in.Op == hsail.OpSub {
+			op = gcn3.OpVSub
+		}
+		e.vop2(op, isa.TypeU32, dst[0], s0(0), s1(0), gcn3.VCC())
+	case hsail.OpMul:
+		switch {
+		case t.IsFloat():
+			e.vop2(gcn3.OpVMul, t, dst[0], w0(), w1(), gcn3.Operand{})
+		case t.Regs() == 2:
+			// 64-bit integer multiply decomposes into 32-bit pieces.
+			tl, th, ta, tb := e.vtmp(1), e.vtmp(1), e.vtmp(1), e.vtmp(1)
+			emitV3 := func(op gcn3.Op, d int, a, b gcn3.Operand) {
+				s := e.vop3Srcs(a, b)
+				e.emit(gcn3.Inst{Op: op, Type: isa.TypeU32, Dst: gcn3.VReg(d), Srcs: s})
+			}
+			emitV3(gcn3.OpVMulLo, tl, s0(0), s1(0))
+			emitV3(gcn3.OpVMulHi, th, s0(0), s1(0))
+			emitV3(gcn3.OpVMulLo, ta, s0(0), s1(1))
+			emitV3(gcn3.OpVMulLo, tb, s0(1), s1(0))
+			e.vop2(gcn3.OpVAdd, isa.TypeU32, gcn3.VReg(th), gcn3.VReg(ta), gcn3.VReg(th), gcn3.VCC())
+			e.vop2(gcn3.OpVAdd, isa.TypeU32, gcn3.VReg(th), gcn3.VReg(tb), gcn3.VReg(th), gcn3.VCC())
+			e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst[0], Srcs: [3]gcn3.Operand{gcn3.VReg(tl)}})
+			e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst[1], Srcs: [3]gcn3.Operand{gcn3.VReg(th)}})
+		default:
+			s := e.vop3Srcs(s0(0), s1(0))
+			e.emit(gcn3.Inst{Op: gcn3.OpVMulLo, Type: isa.TypeU32, Dst: dst[0], Srcs: s})
+		}
+	case hsail.OpMulHi:
+		s := e.vop3Srcs(s0(0), s1(0))
+		e.emit(gcn3.Inst{Op: gcn3.OpVMulHi, Type: isa.TypeU32, Dst: dst[0], Srcs: s})
+	case hsail.OpMin, hsail.OpMax:
+		op := gcn3.OpVMin
+		if in.Op == hsail.OpMax {
+			op = gcn3.OpVMax
+		}
+		mt := t
+		if mt == isa.TypeB32 {
+			mt = isa.TypeU32
+		}
+		if mt.Regs() == 2 && !mt.IsFloat() {
+			return fmt.Errorf("64-bit integer min/max is not supported")
+		}
+		e.vop2(op, mt, dst[0], w0(), w1(), gcn3.Operand{})
+	case hsail.OpAnd, hsail.OpOr, hsail.OpXor:
+		op := map[hsail.Op]gcn3.Op{hsail.OpAnd: gcn3.OpVAnd, hsail.OpOr: gcn3.OpVOr, hsail.OpXor: gcn3.OpVXor}[in.Op]
+		for p := 0; p < t.Regs(); p++ {
+			e.vop2(op, isa.TypeB32, dst[p], s0(p), s1(p), gcn3.Operand{})
+		}
+	case hsail.OpShl, hsail.OpShr:
+		// GCN3 shifts are "rev" encoded: src0 is the amount.
+		amt := s1(0)
+		if t.Regs() == 2 {
+			op := gcn3.OpVLshl
+			if in.Op == hsail.OpShr {
+				op = gcn3.OpVLshr
+			}
+			srcs := e.vop3Srcs(amt, w0())
+			e.emit(gcn3.Inst{Op: op, Type: isa.TypeB64, Dst: dst[0], Srcs: srcs})
+			return nil
+		}
+		var op gcn3.Op
+		var st isa.DataType
+		switch {
+		case in.Op == hsail.OpShl:
+			op, st = gcn3.OpVLshl, isa.TypeB32
+		case t == isa.TypeS32:
+			op, st = gcn3.OpVAshr, isa.TypeS32
+		default:
+			op, st = gcn3.OpVLshr, isa.TypeB32
+		}
+		e.vop2(op, st, dst[0], amt, s0(0), gcn3.Operand{})
+	}
+	return nil
+}
+
+func (f *finalizer) lowerScalarBinary(e *emitter, in *hsail.Inst, dst []gcn3.Operand, s0, s1 func(int) gcn3.Operand) error {
+	t := in.Type
+	switch in.Op {
+	case hsail.OpAdd, hsail.OpSub:
+		if t.Regs() == 2 {
+			if in.Op == hsail.OpSub {
+				return fmt.Errorf("64-bit scalar subtract is not supported")
+			}
+			e.emit(gcn3.Inst{Op: gcn3.OpSAdd, Type: isa.TypeU32, Dst: dst[0], Srcs: [3]gcn3.Operand{s0(0), s1(0)}})
+			e.emit(gcn3.Inst{Op: gcn3.OpSAddc, Type: isa.TypeU32, Dst: dst[1], Srcs: [3]gcn3.Operand{s0(1), s1(1)}})
+			return nil
+		}
+		op := gcn3.OpSAdd
+		if in.Op == hsail.OpSub {
+			op = gcn3.OpSSub
+		}
+		e.emit(gcn3.Inst{Op: op, Type: isa.TypeU32, Dst: dst[0], Srcs: [3]gcn3.Operand{s0(0), s1(0)}})
+	case hsail.OpMul:
+		e.emit(gcn3.Inst{Op: gcn3.OpSMul, Type: isa.TypeS32, Dst: dst[0], Srcs: [3]gcn3.Operand{s0(0), s1(0)}})
+	case hsail.OpAnd, hsail.OpOr, hsail.OpXor:
+		op := map[hsail.Op]gcn3.Op{hsail.OpAnd: gcn3.OpSAnd, hsail.OpOr: gcn3.OpSOr, hsail.OpXor: gcn3.OpSXor}[in.Op]
+		if t.Regs() == 2 && in.Srcs[0].Kind == hsail.OperReg && in.Srcs[1].Kind == hsail.OperReg {
+			e.emit(gcn3.Inst{Op: op, Type: isa.TypeB64, Dst: dst[0], Srcs: [3]gcn3.Operand{s0(0), s1(0)}})
+			return nil
+		}
+		for p := 0; p < t.Regs(); p++ {
+			e.emit(gcn3.Inst{Op: op, Type: isa.TypeB32, Dst: dst[p], Srcs: [3]gcn3.Operand{s0(p), s1(p)}})
+		}
+	case hsail.OpShl, hsail.OpShr:
+		var op gcn3.Op
+		var st isa.DataType
+		switch {
+		case in.Op == hsail.OpShl:
+			op, st = gcn3.OpSLshl, isa.TypeB32
+		case t == isa.TypeS32:
+			op, st = gcn3.OpSAshr, isa.TypeS32
+		default:
+			op, st = gcn3.OpSLshr, isa.TypeB32
+		}
+		e.emit(gcn3.Inst{Op: op, Type: st, Dst: dst[0], Srcs: [3]gcn3.Operand{s0(0), s1(0)}})
+	default:
+		return fmt.Errorf("op %s unexpectedly scalar-homed", in.Op)
+	}
+	return nil
+}
+
+// lowerDiv expands floating-point division into the Newton-Raphson sequence
+// of the paper's Table 3, and integer division into a reciprocal-based
+// sequence (GCN3 has no integer divide instruction).
+func (f *finalizer) lowerDiv(e *emitter, in *hsail.Inst) error {
+	t := in.Type
+	if t.IsFloat() {
+		return f.lowerFloatDiv(e, in)
+	}
+	if t != isa.TypeU32 {
+		return fmt.Errorf("integer division is supported for u32 only (got %s)", t)
+	}
+	dst := f.dstParts(in, t)
+	q, _ := f.lowerU32DivRem(e, in)
+	e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst[0], Srcs: [3]gcn3.Operand{gcn3.VReg(q)}})
+	return nil
+}
+
+func (f *finalizer) lowerRem(e *emitter, in *hsail.Inst) error {
+	if in.Type != isa.TypeU32 {
+		return fmt.Errorf("remainder is supported for u32 only (got %s)", in.Type)
+	}
+	dst := f.dstParts(in, in.Type)
+	_, r := f.lowerU32DivRem(e, in)
+	e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst[0], Srcs: [3]gcn3.Operand{gcn3.VReg(r)}})
+	return nil
+}
+
+// lowerU32DivRem emits the u32 divide sequence, returning temp VGPRs holding
+// the quotient and remainder.
+func (f *finalizer) lowerU32DivRem(e *emitter, in *hsail.Inst) (qReg, rReg int) {
+	a := e.operand32(in.Srcs[0], isa.TypeU32, 0)
+	b := e.operand32(in.Srcs[1], isa.TypeU32, 0)
+	fa, fb, fr, q, t, r, adj := e.vtmp(2), e.vtmp(2), e.vtmp(2), e.vtmp(1), e.vtmp(1), e.vtmp(1), e.vtmp(1)
+	// Convert to f64, multiply by the reciprocal, truncate back.
+	e.emit(gcn3.Inst{Op: gcn3.OpVCvt, Type: isa.TypeF64, SrcType: isa.TypeU32, Dst: gcn3.VReg(fa), Srcs: [3]gcn3.Operand{a}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVCvt, Type: isa.TypeF64, SrcType: isa.TypeU32, Dst: gcn3.VReg(fb), Srcs: [3]gcn3.Operand{b}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVRcp, Type: isa.TypeF64, Dst: gcn3.VReg(fr), Srcs: [3]gcn3.Operand{gcn3.VReg(fb)}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVMul, Type: isa.TypeF64, Dst: gcn3.VReg(fa), Srcs: [3]gcn3.Operand{gcn3.VReg(fa), gcn3.VReg(fr)}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVCvt, Type: isa.TypeU32, SrcType: isa.TypeF64, Dst: gcn3.VReg(q), Srcs: [3]gcn3.Operand{gcn3.VReg(fa)}})
+	// Fix up a possible off-by-one from rounding: if q*b > a, decrement.
+	s := e.vop3Srcs(gcn3.VReg(q), b)
+	e.emit(gcn3.Inst{Op: gcn3.OpVMulLo, Type: isa.TypeU32, Dst: gcn3.VReg(t), Srcs: s})
+	e.emit(gcn3.Inst{Op: gcn3.OpVCmp, Type: isa.TypeU32, Cmp: isa.CmpLt, Dst: gcn3.VCC(),
+		Srcs: [3]gcn3.Operand{a, gcn3.VReg(t)}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVCndmask, Type: isa.TypeB32, Dst: gcn3.VReg(adj),
+		Srcs: [3]gcn3.Operand{gcn3.Inline(0), e.toVGPR(gcn3.Inline(uint32(0xFFFFFFFF))), gcn3.VCC()}})
+	e.vop2(gcn3.OpVAdd, isa.TypeU32, gcn3.VReg(q), gcn3.VReg(adj), gcn3.VReg(q), gcn3.VCC())
+	// Remainder and the increment fixup: if r >= b, increment.
+	s = e.vop3Srcs(gcn3.VReg(q), b)
+	e.emit(gcn3.Inst{Op: gcn3.OpVMulLo, Type: isa.TypeU32, Dst: gcn3.VReg(t), Srcs: s})
+	e.vop2(gcn3.OpVSub, isa.TypeU32, gcn3.VReg(r), a, gcn3.VReg(t), gcn3.VCC())
+	e.emit(gcn3.Inst{Op: gcn3.OpVCmp, Type: isa.TypeU32, Cmp: isa.CmpGe, Dst: gcn3.VCC(),
+		Srcs: [3]gcn3.Operand{gcn3.VReg(r), e.toVGPR(b)}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVCndmask, Type: isa.TypeB32, Dst: gcn3.VReg(adj),
+		Srcs: [3]gcn3.Operand{gcn3.Inline(0), e.toVGPR(gcn3.Inline(1)), gcn3.VCC()}})
+	e.vop2(gcn3.OpVAdd, isa.TypeU32, gcn3.VReg(q), gcn3.VReg(adj), gcn3.VReg(q), gcn3.VCC())
+	// Final remainder.
+	s = e.vop3Srcs(gcn3.VReg(q), b)
+	e.emit(gcn3.Inst{Op: gcn3.OpVMulLo, Type: isa.TypeU32, Dst: gcn3.VReg(t), Srcs: s})
+	e.vop2(gcn3.OpVSub, isa.TypeU32, gcn3.VReg(r), a, gcn3.VReg(t), gcn3.VCC())
+	return q, r
+}
+
+// lowerFloatDiv emits the Table 3 Newton-Raphson division.
+func (f *finalizer) lowerFloatDiv(e *emitter, in *hsail.Inst) error {
+	t := in.Type
+	w := t.Regs()
+	dst := f.dstParts(in, t)
+	src := func(i int) gcn3.Operand {
+		if w == 2 {
+			return f.vec64(e, in.Srcs[i], t)
+		}
+		return e.operand32(in.Srcs[i], t, 0)
+	}
+	num := src(0)
+	den := src(1)
+	one := gcn3.Inline(0x3F800000) // expands to 1.0 for both f32 and f64
+
+	d, n, x, eps, q, r, negD := e.vtmp(w), e.vtmp(w), e.vtmp(w), e.vtmp(w), e.vtmp(w), e.vtmp(w), e.vtmp(w)
+	vop3 := func(op gcn3.Op, dstReg int, srcs ...gcn3.Operand) {
+		s := e.vop3Srcs(srcs...)
+		e.emit(gcn3.Inst{Op: op, Type: t, Dst: gcn3.VReg(dstReg), Srcs: s})
+	}
+	// Scale denominator and numerator.
+	e.emit(gcn3.Inst{Op: gcn3.OpVDivScale, Type: t, Dst: gcn3.VReg(d), SDst: gcn3.VCC(),
+		Srcs: e.vop3Srcs(den, den, num)})
+	e.emit(gcn3.Inst{Op: gcn3.OpVDivScale, Type: t, Dst: gcn3.VReg(n), SDst: gcn3.VCC(),
+		Srcs: e.vop3Srcs(num, den, num)})
+	// Reciprocal seed.
+	e.emit(gcn3.Inst{Op: gcn3.OpVRcp, Type: t, Dst: gcn3.VReg(x), Srcs: [3]gcn3.Operand{gcn3.VReg(d)}})
+	// Negated denominator for the FMA chain (explicit: no operand
+	// negation modifiers in this encoding).
+	signBit := uint32(0x80000000)
+	if w == 2 {
+		e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: gcn3.VReg(negD), Srcs: [3]gcn3.Operand{gcn3.VReg(d)}})
+		e.vop2(gcn3.OpVXor, isa.TypeB32, gcn3.VReg(negD+1), gcn3.Lit(signBit), gcn3.VReg(d+1), gcn3.Operand{})
+	} else {
+		e.vop2(gcn3.OpVXor, isa.TypeB32, gcn3.VReg(negD), gcn3.Lit(signBit), gcn3.VReg(d), gcn3.Operand{})
+	}
+	// Two Newton-Raphson refinements.
+	vop3(gcn3.OpVFma, eps, gcn3.VReg(negD), gcn3.VReg(x), one)
+	vop3(gcn3.OpVFma, x, gcn3.VReg(x), gcn3.VReg(eps), gcn3.VReg(x))
+	vop3(gcn3.OpVFma, eps, gcn3.VReg(negD), gcn3.VReg(x), one)
+	vop3(gcn3.OpVFma, x, gcn3.VReg(x), gcn3.VReg(eps), gcn3.VReg(x))
+	// Quotient estimate and residual.
+	if w == 2 {
+		vop3(gcn3.OpVMul, q, gcn3.VReg(n), gcn3.VReg(x))
+	} else {
+		e.vop2(gcn3.OpVMul, t, gcn3.VReg(q), gcn3.VReg(n), gcn3.VReg(x), gcn3.Operand{})
+	}
+	vop3(gcn3.OpVFma, r, gcn3.VReg(negD), gcn3.VReg(q), gcn3.VReg(n))
+	// Final combination and special-case fixup.
+	vop3(gcn3.OpVDivFmas, q, gcn3.VReg(r), gcn3.VReg(x), gcn3.VReg(q))
+	e.emit(gcn3.Inst{Op: gcn3.OpVDivFixup, Type: t, Dst: dst[0],
+		Srcs: e.vop3Srcs(gcn3.VReg(q), den, num)})
+	return nil
+}
+
+func (f *finalizer) lowerFmaLike(e *emitter, in *hsail.Inst) error {
+	t := in.Type
+	dst := f.dstParts(in, t)
+	src := func(i int) gcn3.Operand {
+		if t.Regs() == 2 {
+			return f.vec64(e, in.Srcs[i], t)
+		}
+		return e.operand32(in.Srcs[i], t, 0)
+	}
+	s0, s1, s2 := src(0), src(1), src(2)
+	op := gcn3.OpVFma
+	ot := t
+	if !t.IsFloat() {
+		if t.Regs() == 2 {
+			return fmt.Errorf("64-bit integer mad is not supported")
+		}
+		op, ot = gcn3.OpVMad, isa.TypeU32
+	}
+	e.emit(gcn3.Inst{Op: op, Type: ot, Dst: dst[0], Srcs: e.vop3Srcs(s0, s1, s2)})
+	return nil
+}
+
+func (f *finalizer) lowerUnary(e *emitter, in *hsail.Inst) error {
+	t := in.Type
+	dst := f.dstParts(in, t)
+	src := func(p int) gcn3.Operand { return e.operand32(in.Srcs[0], t, p) }
+	scalar := f.isScalarSlot(int(in.Dst.Reg))
+	switch in.Op {
+	case hsail.OpNot:
+		if scalar {
+			if t.Regs() == 2 && in.Srcs[0].Kind == hsail.OperReg {
+				e.emit(gcn3.Inst{Op: gcn3.OpSNot, Type: isa.TypeB64, Dst: dst[0], Srcs: [3]gcn3.Operand{src(0)}})
+				return nil
+			}
+			e.emit(gcn3.Inst{Op: gcn3.OpSNot, Type: isa.TypeB32, Dst: dst[0], Srcs: [3]gcn3.Operand{src(0)}})
+			return nil
+		}
+		for p := 0; p < t.Regs(); p++ {
+			e.emit(gcn3.Inst{Op: gcn3.OpVNot, Type: isa.TypeB32, Dst: dst[p], Srcs: [3]gcn3.Operand{src(p)}})
+		}
+	case hsail.OpSqrt, hsail.OpRsqrt:
+		op := gcn3.OpVSqrt
+		if in.Op == hsail.OpRsqrt {
+			op = gcn3.OpVRsq
+		}
+		s := src(0)
+		if t.Regs() == 2 {
+			s = f.vec64(e, in.Srcs[0], t)
+		}
+		e.emit(gcn3.Inst{Op: op, Type: t, Dst: dst[0], Srcs: [3]gcn3.Operand{s}})
+	case hsail.OpNeg:
+		if t.IsFloat() {
+			// Flip the sign bit of the top dword.
+			hiPart := t.Regs() - 1
+			if t.Regs() == 2 {
+				e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst[0], Srcs: [3]gcn3.Operand{src(0)}})
+			}
+			e.vop2(gcn3.OpVXor, isa.TypeB32, dst[hiPart], gcn3.Lit(0x80000000), e.toVGPR(src(hiPart)), gcn3.Operand{})
+			return nil
+		}
+		// Integer negate: 0 - x.
+		e.vop2(gcn3.OpVSub, isa.TypeU32, dst[0], gcn3.Inline(0), e.toVGPR(src(0)), gcn3.VCC())
+		if t.Regs() == 2 {
+			return fmt.Errorf("64-bit integer negate is not supported")
+		}
+	case hsail.OpAbs:
+		if t.IsFloat() {
+			hiPart := t.Regs() - 1
+			if t.Regs() == 2 {
+				e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst[0], Srcs: [3]gcn3.Operand{src(0)}})
+			}
+			e.vop2(gcn3.OpVAnd, isa.TypeB32, dst[hiPart], gcn3.Lit(0x7FFFFFFF), e.toVGPR(src(hiPart)), gcn3.Operand{})
+			return nil
+		}
+		// Integer abs: max(x, 0-x).
+		tn := e.vtmp(1)
+		e.vop2(gcn3.OpVSub, isa.TypeU32, gcn3.VReg(tn), gcn3.Inline(0), e.toVGPR(src(0)), gcn3.VCC())
+		e.vop2(gcn3.OpVMax, isa.TypeS32, dst[0], src(0), gcn3.VReg(tn), gcn3.Operand{})
+	}
+	return nil
+}
+
+// lowerCmp emits a non-fused compare: a vector compare whose lane mask lands
+// in the control register's SGPR pair (a VOP3 encoding).
+func (f *finalizer) lowerCmp(e *emitter, in *hsail.Inst) {
+	t := in.SrcType
+	src := func(i int) gcn3.Operand {
+		if t.Regs() == 2 {
+			return f.vec64(e, in.Srcs[i], t)
+		}
+		return e.operand32(in.Srcs[i], t, 0)
+	}
+	s0 := src(0)
+	s1 := src(1)
+	ct := t
+	if ct == isa.TypeB32 {
+		ct = isa.TypeU32
+	}
+	if ct == isa.TypeB64 {
+		ct = isa.TypeU64
+	}
+	e.emit(gcn3.Inst{Op: gcn3.OpVCmp, Type: ct, Cmp: in.Cmp,
+		Dst:  gcn3.SReg(f.cregs[in.Dst.Reg].sreg),
+		Srcs: e.vop3Srcs(s0, s1)})
+}
+
+// lowerCmov emits v_cndmask selected by the control register's lane mask.
+func (f *finalizer) lowerCmov(e *emitter, in *hsail.Inst) {
+	t := in.Type
+	dst := f.dstParts(in, t)
+	sel := gcn3.SReg(f.cregs[in.Srcs[0].Reg].sreg)
+	for p := 0; p < t.Regs(); p++ {
+		sTrue := e.operand32(in.Srcs[1], t, p)
+		sFalse := e.operand32(in.Srcs[2], t, p)
+		srcs := e.vop3Srcs(sFalse, sTrue)
+		e.emit(gcn3.Inst{Op: gcn3.OpVCndmask, Type: isa.TypeB32, Dst: dst[p],
+			Srcs: [3]gcn3.Operand{srcs[0], srcs[1], sel}})
+	}
+}

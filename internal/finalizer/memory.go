@@ -1,0 +1,311 @@
+package finalizer
+
+import (
+	"fmt"
+
+	"ilsim/internal/gcn3"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+)
+
+// lowerGeometry expands dispatch-geometry queries into the ABI sequences the
+// machine ISA requires (paper Table 1): geometry lives in the dispatch
+// packet in memory and in ABI-initialized registers, not in magic state.
+func (f *finalizer) lowerGeometry(e *emitter, in *hsail.Inst) error {
+	dst0 := f.slotOperand(int(in.Dst.Reg))
+	scalar := f.isScalarSlot(int(in.Dst.Reg))
+	dim := int(in.Dim)
+	switch in.Op {
+	case hsail.OpWorkItemAbsId:
+		if in.Dim != isa.DimX {
+			return fmt.Errorf("workitemabsid supported for dim x only")
+		}
+		// The prologue computed the Table 1 sequence into vAbsID.
+		e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst0,
+			Srcs: [3]gcn3.Operand{gcn3.VReg(f.vAbsID)}})
+	case hsail.OpWorkItemId:
+		// The ABI initializes v0..v2 with the per-dimension IDs.
+		src := gcn3.VGPRWorkItemID + dim
+		e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst0,
+			Srcs: [3]gcn3.Operand{gcn3.VReg(src)}})
+	case hsail.OpWorkGroupId:
+		src := gcn3.SReg(gcn3.SGPRWorkGroupIDX + dim)
+		op := gcn3.OpVMov
+		if scalar {
+			op = gcn3.OpSMov
+		}
+		e.emit(gcn3.Inst{Op: op, Type: isa.TypeB32, Dst: dst0, Srcs: [3]gcn3.Operand{src}})
+	case hsail.OpWorkGroupSize:
+		// Packed 16-bit sizes in the dispatch packet: X and Y share a
+		// dword at offset 4; Z sits at offset 8.
+		st := e.stmp(1)
+		off := int32(gcn3.PktWorkgroupSizeX)
+		bfe := uint32(0x100000) // offset 0, width 16
+		switch in.Dim {
+		case isa.DimY:
+			bfe = 0x100010 // offset 16, width 16
+		case isa.DimZ:
+			off = gcn3.PktWorkgroupSizeZ
+		}
+		e.emit(gcn3.Inst{Op: gcn3.OpSLoadDword, Dst: gcn3.SReg(st),
+			Srcs: [3]gcn3.Operand{gcn3.SReg(gcn3.SGPRDispatchPtr)}, Offset: off})
+		target := dst0
+		if !scalar {
+			target = gcn3.SReg(st)
+		}
+		e.emit(gcn3.Inst{Op: gcn3.OpSBfe, Type: isa.TypeU32, Dst: target,
+			Srcs: [3]gcn3.Operand{gcn3.SReg(st), gcn3.Lit(bfe)}})
+		if !scalar {
+			e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst0,
+				Srcs: [3]gcn3.Operand{gcn3.SReg(st)}})
+		}
+	case hsail.OpGridSize:
+		off := int32(gcn3.PktGridSizeX + 4*dim)
+		if scalar {
+			e.emit(gcn3.Inst{Op: gcn3.OpSLoadDword, Dst: dst0,
+				Srcs: [3]gcn3.Operand{gcn3.SReg(gcn3.SGPRDispatchPtr)}, Offset: off})
+			return nil
+		}
+		st := e.stmp(1)
+		e.emit(gcn3.Inst{Op: gcn3.OpSLoadDword, Dst: gcn3.SReg(st),
+			Srcs: [3]gcn3.Operand{gcn3.SReg(gcn3.SGPRDispatchPtr)}, Offset: off})
+		e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dst0,
+			Srcs: [3]gcn3.Operand{gcn3.SReg(st)}})
+	}
+	return nil
+}
+
+// flatAddress materializes the effective 64-bit address of a non-LDS memory
+// access into a VGPR pair and returns the pair's first register operand.
+// This is where the ABI's address-generation cost becomes explicit: segment
+// bases come from registers and GCN3 FLAT operations take no immediate
+// offset, so every displacement costs real add/addc instructions.
+func (f *finalizer) flatAddress(e *emitter, in *hsail.Inst) (gcn3.Operand, error) {
+	off := int64(in.Addr.Offset)
+	switch in.Seg {
+	case hsail.SegKernarg:
+		if in.Addr.Base.Kind == hsail.OperArgSym {
+			off += int64(f.k.Args[in.Addr.Base.Reg].Offset)
+		}
+		// Scalar add of the displacement, then move the address into
+		// VGPRs for the flat operation (paper Table 2).
+		base := gcn3.SGPRKernargPtr
+		if off != 0 {
+			st := e.stmp(2)
+			e.emit(gcn3.Inst{Op: gcn3.OpSAdd, Type: isa.TypeU32, Dst: gcn3.SReg(st),
+				Srcs: [3]gcn3.Operand{gcn3.SReg(base), constOperand(isa.TypeU32, uint32(off))}})
+			e.emit(gcn3.Inst{Op: gcn3.OpSAddc, Type: isa.TypeU32, Dst: gcn3.SReg(st + 1),
+				Srcs: [3]gcn3.Operand{gcn3.SReg(base + 1), gcn3.Inline(0)}})
+			base = st
+		}
+		pair := e.movToVGPRPair(gcn3.SReg(base), gcn3.SReg(base+1))
+		return gcn3.VReg(pair), nil
+
+	case hsail.SegPrivate, hsail.SegSpill:
+		if in.Seg == hsail.SegSpill {
+			off += int64(f.spillOffset)
+		}
+		curLo := gcn3.Operand(gcn3.VReg(f.vPrivBase))
+		curHi := gcn3.Operand(gcn3.VReg(f.vPrivBase + 1))
+		if in.Addr.Base.Kind == hsail.OperReg {
+			t := e.vtmp(2)
+			bLo := e.operand32(in.Addr.Base, isa.TypeU64, 0)
+			bHi := e.operand32(in.Addr.Base, isa.TypeU64, 1)
+			e.add64(gcn3.VReg(t), gcn3.VReg(t+1), bLo, bHi, curLo, curHi)
+			curLo, curHi = gcn3.VReg(t), gcn3.VReg(t+1)
+		}
+		if off != 0 {
+			t := e.vtmp(2)
+			hi := uint32(0)
+			if off < 0 {
+				hi = 0xFFFFFFFF
+			}
+			e.add64(gcn3.VReg(t), gcn3.VReg(t+1),
+				constOperand(isa.TypeU32, uint32(off)), constOperand(isa.TypeB32, hi), curLo, curHi)
+			curLo = gcn3.VReg(t)
+		}
+		return curLo, nil
+
+	default: // global, readonly, flat
+		if in.Addr.Base.Kind != hsail.OperReg {
+			return gcn3.Operand{}, fmt.Errorf("%s access requires a register base", in.Seg)
+		}
+		slot := int(in.Addr.Base.Reg)
+		if f.isScalarSlot(slot) {
+			base := f.slots[slot].reg
+			if off != 0 {
+				st := e.stmp(2)
+				e.emit(gcn3.Inst{Op: gcn3.OpSAdd, Type: isa.TypeU32, Dst: gcn3.SReg(st),
+					Srcs: [3]gcn3.Operand{gcn3.SReg(base), constOperand(isa.TypeU32, uint32(off))}})
+				hi := gcn3.Operand(gcn3.Inline(0))
+				if off < 0 {
+					hi = constOperand(isa.TypeB32, 0xFFFFFFFF)
+				}
+				e.emit(gcn3.Inst{Op: gcn3.OpSAddc, Type: isa.TypeU32, Dst: gcn3.SReg(st + 1),
+					Srcs: [3]gcn3.Operand{gcn3.SReg(base + 1), hi}})
+				base = st
+			}
+			pair := e.movToVGPRPair(gcn3.SReg(base), gcn3.SReg(base+1))
+			return gcn3.VReg(pair), nil
+		}
+		bLo := e.operand32(in.Addr.Base, isa.TypeU64, 0)
+		bHi := e.operand32(in.Addr.Base, isa.TypeU64, 1)
+		if off == 0 {
+			return bLo, nil
+		}
+		t := e.vtmp(2)
+		hi := uint32(0)
+		if off < 0 {
+			hi = 0xFFFFFFFF
+		}
+		e.add64(gcn3.VReg(t), gcn3.VReg(t+1),
+			constOperand(isa.TypeU32, uint32(off)), constOperand(isa.TypeB32, hi), bLo, bHi)
+		return gcn3.VReg(t), nil
+	}
+}
+
+// dataToVGPRs materializes a store's data operand into VGPRs.
+func (f *finalizer) dataToVGPRs(e *emitter, o hsail.Operand, t isa.DataType) gcn3.Operand {
+	if o.Kind == hsail.OperReg && !f.isScalarSlot(int(o.Reg)) {
+		return f.slotOperand(int(o.Reg))
+	}
+	if t.Regs() == 2 {
+		lo := e.operand32(o, t, 0)
+		hi := e.operand32(o, t, 1)
+		return gcn3.VReg(e.movToVGPRPair(lo, hi))
+	}
+	return e.toVGPR(e.operand32(o, t, 0))
+}
+
+// lowerMemory lowers ld/st/atomic for every segment.
+func (f *finalizer) lowerMemory(e *emitter, in *hsail.Inst) error {
+	t := in.Type
+	w := t.Regs()
+
+	// Kernarg loads scalarize to s_load when the destination is
+	// scalar-homed (the common case); Options.UseFlatKernarg forces the
+	// paper's Table 2 vector sequence for demonstration.
+	if in.Op == hsail.OpLd && in.Seg == hsail.SegKernarg &&
+		f.isScalarSlot(int(in.Dst.Reg)) && !f.opts.UseFlatKernarg {
+		off := int32(in.Addr.Offset)
+		if in.Addr.Base.Kind == hsail.OperArgSym {
+			off += int32(f.k.Args[in.Addr.Base.Reg].Offset)
+		}
+		op := gcn3.OpSLoadDword
+		if w == 2 {
+			op = gcn3.OpSLoadDwordx2
+		}
+		e.emit(gcn3.Inst{Op: op, Dst: f.slotOperand(int(in.Dst.Reg)),
+			Srcs: [3]gcn3.Operand{gcn3.SReg(gcn3.SGPRKernargPtr)}, Offset: off})
+		return nil
+	}
+
+	if in.Seg == hsail.SegGroup {
+		return f.lowerLDS(e, in)
+	}
+
+	addr, err := f.flatAddress(e, in)
+	if err != nil {
+		return err
+	}
+	switch in.Op {
+	case hsail.OpLd:
+		op := gcn3.OpFlatLoadDword
+		if w == 2 {
+			op = gcn3.OpFlatLoadDwordx2
+		}
+		dst := f.slotOperand(int(in.Dst.Reg))
+		if f.isScalarSlot(int(in.Dst.Reg)) {
+			return fmt.Errorf("flat load into scalar-homed slot %d", in.Dst.Reg)
+		}
+		e.emit(gcn3.Inst{Op: op, Dst: dst, Srcs: [3]gcn3.Operand{addr}})
+	case hsail.OpSt:
+		op := gcn3.OpFlatStoreDword
+		if w == 2 {
+			op = gcn3.OpFlatStoreDwordx2
+		}
+		data := f.dataToVGPRs(e, in.Srcs[0], t)
+		e.emit(gcn3.Inst{Op: op, Srcs: [3]gcn3.Operand{addr, data}})
+	case hsail.OpAtomicAdd:
+		if w != 1 {
+			return fmt.Errorf("atomic add supported for 32-bit types only")
+		}
+		data := f.dataToVGPRs(e, in.Srcs[0], t)
+		e.emit(gcn3.Inst{Op: gcn3.OpFlatAtomicAdd, Type: isa.TypeU32,
+			Dst: f.slotOperand(int(in.Dst.Reg)), Srcs: [3]gcn3.Operand{addr, data}})
+	}
+	return nil
+}
+
+// lowerLDS lowers group-segment accesses to DS operations. The DS offset
+// field absorbs the displacement; the base register supplies the per-lane
+// LDS byte address (low dword).
+func (f *finalizer) lowerLDS(e *emitter, in *hsail.Inst) error {
+	t := in.Type
+	w := t.Regs()
+	if in.Addr.Offset < 0 || in.Addr.Offset >= 1<<16 {
+		return fmt.Errorf("LDS offset %d out of the 16-bit DS range", in.Addr.Offset)
+	}
+	var addr gcn3.Operand
+	if in.Addr.Base.Kind == hsail.OperReg {
+		addr = e.toVGPR(e.operand32(in.Addr.Base, isa.TypeU64, 0))
+	} else {
+		addr = e.toVGPR(gcn3.Inline(0))
+	}
+	switch in.Op {
+	case hsail.OpLd:
+		op := gcn3.OpDSReadB32
+		if w == 2 {
+			op = gcn3.OpDSReadB64
+		}
+		e.emit(gcn3.Inst{Op: op, Dst: f.slotOperand(int(in.Dst.Reg)),
+			Srcs: [3]gcn3.Operand{addr}, Offset: in.Addr.Offset})
+	case hsail.OpSt:
+		op := gcn3.OpDSWriteB32
+		if w == 2 {
+			op = gcn3.OpDSWriteB64
+		}
+		data := f.dataToVGPRs(e, in.Srcs[0], t)
+		e.emit(gcn3.Inst{Op: op, Srcs: [3]gcn3.Operand{addr, data}, Offset: in.Addr.Offset})
+	case hsail.OpAtomicAdd:
+		if w != 1 {
+			return fmt.Errorf("LDS atomic add supported for 32-bit types only")
+		}
+		data := f.dataToVGPRs(e, in.Srcs[0], t)
+		e.emit(gcn3.Inst{Op: gcn3.OpDSAddU32, Type: isa.TypeU32,
+			Dst: f.slotOperand(int(in.Dst.Reg)), Srcs: [3]gcn3.Operand{addr, data},
+			Offset: in.Addr.Offset})
+	default:
+		return fmt.Errorf("unsupported LDS operation %s", in.Op)
+	}
+	return nil
+}
+
+// lowerLda materializes a segment address into the destination VGPR pair.
+func (f *finalizer) lowerLda(e *emitter, in *hsail.Inst) error {
+	if f.isScalarSlot(int(in.Dst.Reg)) {
+		return fmt.Errorf("lda into scalar-homed slot %d", in.Dst.Reg)
+	}
+	dstLo := f.slotOperand(int(in.Dst.Reg))
+	dstHi := f.slotOperand(int(in.Dst.Reg) + 1)
+	if in.Seg == hsail.SegGroup {
+		off := uint32(in.Addr.Offset)
+		e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dstLo,
+			Srcs: [3]gcn3.Operand{constOperand(isa.TypeU32, off)}})
+		e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dstHi,
+			Srcs: [3]gcn3.Operand{gcn3.Inline(0)}})
+		return nil
+	}
+	addr, err := f.flatAddress(e, in)
+	if err != nil {
+		return err
+	}
+	if addr.Kind != gcn3.OperVGPR {
+		return fmt.Errorf("lda address did not land in VGPRs")
+	}
+	e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dstLo,
+		Srcs: [3]gcn3.Operand{gcn3.VReg(int(addr.Index))}})
+	e.emit(gcn3.Inst{Op: gcn3.OpVMov, Type: isa.TypeB32, Dst: dstHi,
+		Srcs: [3]gcn3.Operand{gcn3.VReg(int(addr.Index) + 1)}})
+	return nil
+}

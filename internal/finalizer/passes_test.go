@@ -1,0 +1,180 @@
+package finalizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"ilsim/internal/gcn3"
+	"ilsim/internal/isa"
+)
+
+// randomStream builds a random legal straight-line GCN3 block mixing vector
+// ALU, scalar ALU and memory operations over a small register set.
+func randomStream(rng *rand.Rand, n int) []gcn3.Inst {
+	var out []gcn3.Inst
+	v := func() gcn3.Operand { return gcn3.VReg(rng.Intn(12)) }
+	s := func() gcn3.Operand { return gcn3.SReg(12 + rng.Intn(8)) }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			out = append(out, gcn3.Inst{Op: gcn3.OpVAdd, Type: isa.TypeU32,
+				Dst: v(), SDst: gcn3.VCC(), Srcs: [3]gcn3.Operand{v(), v()}})
+		case 1:
+			out = append(out, gcn3.Inst{Op: gcn3.OpVMul, Type: isa.TypeF32,
+				Dst: v(), Srcs: [3]gcn3.Operand{v(), v()}})
+		case 2:
+			out = append(out, gcn3.Inst{Op: gcn3.OpSAdd, Type: isa.TypeU32,
+				Dst: s(), Srcs: [3]gcn3.Operand{s(), gcn3.Inline(uint32(rng.Intn(32)))}})
+		case 3:
+			out = append(out, gcn3.Inst{Op: gcn3.OpFlatLoadDword,
+				Dst: v(), Srcs: [3]gcn3.Operand{gcn3.VReg(2 * rng.Intn(5))}})
+		case 4:
+			out = append(out, gcn3.Inst{Op: gcn3.OpFlatStoreDword,
+				Srcs: [3]gcn3.Operand{gcn3.VReg(2 * rng.Intn(5)), v()}})
+		default:
+			out = append(out, gcn3.Inst{Op: gcn3.OpSLoadDword,
+				Dst: s(), Srcs: [3]gcn3.Operand{gcn3.SReg(4)}, Offset: int32(4 * rng.Intn(8))})
+		}
+	}
+	out = append(out, gcn3.Inst{Op: gcn3.OpSEndpgm})
+	return out
+}
+
+// TestSchedulerPreservesDependencesRandomized: for random blocks, every
+// RAW/WAR/WAW pair must keep its order after scheduling.
+func TestSchedulerPreservesDependencesRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		block := randomStream(rng, 3+rng.Intn(30))
+		sched := scheduleBlock(append([]gcn3.Inst(nil), block...))
+		if len(sched) != len(block) {
+			t.Fatalf("iter %d: scheduler dropped instructions: %d != %d", iter, len(sched), len(block))
+		}
+		// Oracle: walk the SCHEDULED order maintaining last-writer and
+		// readers-since maps keyed by ORIGINAL index; verify that for
+		// every instruction, all its original-order dependence
+		// predecessors already executed.
+		origIdx := map[string][]int{}
+		for i := range block {
+			key := block[i].String()
+			origIdx[key] = append(origIdx[key], i)
+		}
+		// Map scheduled instructions back to original indexes (stable for
+		// duplicates).
+		taken := map[string]int{}
+		schedOrig := make([]int, len(sched))
+		for i := range sched {
+			key := sched[i].String()
+			schedOrig[i] = origIdx[key][taken[key]]
+			taken[key]++
+		}
+		// Build dependence pairs from the original order.
+		type pair struct{ a, b int }
+		var deps []pair
+		lastWriter := map[int]int{}
+		readers := map[int][]int{}
+		for i := range block {
+			reads, writes := regUse(&block[i])
+			for _, r := range reads {
+				if w, ok := lastWriter[r]; ok {
+					deps = append(deps, pair{w, i})
+				}
+				readers[r] = append(readers[r], i)
+			}
+			for _, r := range writes {
+				if w, ok := lastWriter[r]; ok {
+					deps = append(deps, pair{w, i})
+				}
+				for _, rd := range readers[r] {
+					deps = append(deps, pair{rd, i})
+				}
+				lastWriter[r] = i
+				readers[r] = nil
+			}
+		}
+		pos := make([]int, len(block))
+		for schedPos, oi := range schedOrig {
+			pos[oi] = schedPos
+		}
+		for _, d := range deps {
+			if d.a == d.b {
+				continue
+			}
+			if pos[d.a] >= pos[d.b] {
+				t.Fatalf("iter %d: dependence %d->%d violated (%s before %s)",
+					iter, d.a, d.b, block[d.b].String(), block[d.a].String())
+			}
+		}
+	}
+}
+
+// TestWaitcntInsertionRandomized: after the waitcnt pass, the static
+// sufficiency checker (same rules as checkWaitcnts in finalizer_test) must
+// accept every random block.
+func TestWaitcntInsertionRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 200; iter++ {
+		block := insertWaitcntsBlock(randomStream(rng, 3+rng.Intn(40)))
+		// Inline sufficiency check.
+		type pend struct{ writes []int }
+		var vmem, lgkm []pend
+		for i := range block {
+			in := &block[i]
+			if in.Op == gcn3.OpSWaitcnt {
+				if in.VMCnt >= 0 && int(in.VMCnt) < len(vmem) {
+					vmem = vmem[len(vmem)-int(in.VMCnt):]
+				}
+				if in.LGKMCnt >= 0 && int(in.LGKMCnt) < len(lgkm) {
+					lgkm = lgkm[len(lgkm)-int(in.LGKMCnt):]
+				}
+				continue
+			}
+			reads, writes := regUse(in)
+			for _, p := range vmem {
+				if overlap(p.writes, reads) || overlap(p.writes, writes) {
+					t.Fatalf("iter %d: inst %d (%s) touches pending vmem dest", iter, i, in.String())
+				}
+			}
+			for _, p := range lgkm {
+				if overlap(p.writes, reads) || overlap(p.writes, writes) {
+					t.Fatalf("iter %d: inst %d (%s) touches pending lgkm dest", iter, i, in.String())
+				}
+			}
+			switch in.Op.Category() {
+			case isa.CatVMem:
+				var w []int
+				if !in.Op.IsStore() {
+					_, w = regUse(in)
+				}
+				vmem = append(vmem, pend{w})
+			case isa.CatSMem, isa.CatLDS:
+				var w []int
+				if !in.Op.IsStore() {
+					_, w = regUse(in)
+				}
+				lgkm = append(lgkm, pend{w})
+			}
+		}
+		if len(vmem)+len(lgkm) > 0 {
+			t.Fatalf("iter %d: block ends with outstanding memory", iter)
+		}
+	}
+}
+
+// TestNopInsertionRandomized: after scheduling + nop insertion, no adjacent
+// dependent VALU pairs remain in random blocks.
+func TestNopInsertionRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 200; iter++ {
+		f := &finalizer{}
+		f.out = [][]gcn3.Inst{scheduleBlock(randomStream(rng, 3+rng.Intn(30)))}
+		f.insertNops()
+		insts := f.out[0]
+		for i := 1; i < len(insts); i++ {
+			if needsGap(&insts[i-1], &insts[i]) {
+				t.Fatalf("iter %d: adjacent dependent VALU pair:\n  %s\n  %s",
+					iter, insts[i-1].String(), insts[i].String())
+			}
+		}
+	}
+}

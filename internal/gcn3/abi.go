@@ -1,0 +1,69 @@
+package gcn3
+
+// The GCN3 ABI register conventions modeled by this project (paper §III.A).
+//
+// Before a wavefront launches, the command processor initializes scalar and
+// vector registers according to the ABI; the finalized code KNOWS these
+// semantics and reads dispatch state from registers rather than from
+// simulator-internal tables. This is precisely the machinery HSAIL lacks:
+// under the IL, work-item IDs and kernarg addresses appear by fiat.
+//
+// Layout (a simplified but faithful subset of the amdhsa convention):
+//
+//	s[0:1]  private (scratch) segment base address for this dispatch
+//	s2      private segment size per work-item (stride), bytes
+//	s[4:5]  address of the AQL dispatch packet in memory
+//	s[6:7]  kernarg segment base address
+//	s8      workgroup ID X
+//	s9      workgroup ID Y
+//	s10     workgroup ID Z
+//	v0      work-item flat ID within the workgroup
+//
+// SGPR allocation starts at FirstAllocSGPR and VGPR allocation at
+// FirstAllocVGPR so ABI-initialized registers stay live.
+const (
+	// SGPRPrivateBase is the first SGPR of the private-segment base pair.
+	SGPRPrivateBase = 0
+	// SGPRPrivateStride holds the per-work-item private segment size.
+	SGPRPrivateStride = 2
+	// SGPRDispatchPtr is the first SGPR of the dispatch-packet address pair.
+	SGPRDispatchPtr = 4
+	// SGPRKernargPtr is the first SGPR of the kernarg base address pair.
+	SGPRKernargPtr = 6
+	// SGPRWorkGroupIDX holds the workgroup ID in X.
+	SGPRWorkGroupIDX = 8
+	// SGPRWorkGroupIDY holds the workgroup ID in Y.
+	SGPRWorkGroupIDY = 9
+	// SGPRWorkGroupIDZ holds the workgroup ID in Z.
+	SGPRWorkGroupIDZ = 10
+	// FirstAllocSGPR is the first SGPR available to the register allocator.
+	FirstAllocSGPR = 12
+	// VGPRWorkItemID holds each lane's work-item ID X within its
+	// workgroup (for 1-D workgroups this equals the flat ID).
+	VGPRWorkItemID = 0
+	// VGPRWorkItemIDY / VGPRWorkItemIDZ hold the Y and Z work-item IDs
+	// when the code object requests them (WorkItemIDDims >= 2 / 3).
+	VGPRWorkItemIDY = 1
+	VGPRWorkItemIDZ = 2
+	// FirstAllocVGPR is the first VGPR available to the register
+	// allocator for a 1-D kernel; multi-dimensional kernels start at
+	// WorkItemIDDims.
+	FirstAllocVGPR = 1
+)
+
+// AQL dispatch packet field offsets (bytes). The command processor writes
+// the packet into simulated memory and the finalized prologue reads geometry
+// from it with scalar loads, as in the paper's Table 1 sequence.
+const (
+	// PktWorkgroupSizeX is the offset of the packed 16-bit workgroup sizes
+	// (X at [15:0], Y at [31:16], read as one dword at offset 4).
+	PktWorkgroupSizeX = 4
+	// PktWorkgroupSizeZ is the offset of the 16-bit Z workgroup size.
+	PktWorkgroupSizeZ = 8
+	// PktGridSizeX is the offset of the 32-bit grid size in X.
+	PktGridSizeX = 12
+	// PktGridSizeY is the offset of the 32-bit grid size in Y.
+	PktGridSizeY = 16
+	// PktGridSizeZ is the offset of the 32-bit grid size in Z.
+	PktGridSizeZ = 20
+)

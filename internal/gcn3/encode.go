@@ -1,0 +1,544 @@
+package gcn3
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ilsim/internal/isa"
+)
+
+// This file implements the binary codec for GCN3-like programs.
+//
+// The bit-level field packing is this project's own, but the encoding obeys
+// the GCN3 size rules exactly — 32-bit base encodings for SOP1/SOP2/SOPC/
+// SOPP/VOP1/VOP2/VOPC, 64-bit for VOP3/SMEM/FLAT/DS, at most one trailing
+// 32-bit literal and only on 32-bit formats — because encoded size is what
+// the instruction-footprint and fetch experiments measure. Like real GCN3,
+// the operation's data type is folded into the format's opcode field: a
+// deterministic registry enumerates every legal (op, type, srcType, cmp)
+// combination per format.
+
+// comboKey identifies an encodable operation variant.
+type comboKey struct {
+	op      Op
+	typ     isa.DataType
+	srcType isa.DataType
+	cmp     isa.CmpOp
+}
+
+var (
+	comboToCode map[comboKey]uint16
+	codeToCombo [NumFormats][]comboKey
+)
+
+// legalCombos returns the encodable variants of op in deterministic order.
+func legalCombos(op Op) []comboKey {
+	types := func(ts ...isa.DataType) []comboKey {
+		ks := make([]comboKey, len(ts))
+		for i, t := range ts {
+			ks[i] = comboKey{op: op, typ: t}
+		}
+		return ks
+	}
+	cmps := func(ts ...isa.DataType) []comboKey {
+		var ks []comboKey
+		for _, t := range ts {
+			for c := isa.CmpEq; c <= isa.CmpGe; c++ {
+				ks = append(ks, comboKey{op: op, typ: t, cmp: c})
+			}
+		}
+		return ks
+	}
+	const (
+		b32 = isa.TypeB32
+		b64 = isa.TypeB64
+		u32 = isa.TypeU32
+		s32 = isa.TypeS32
+		u64 = isa.TypeU64
+		s64 = isa.TypeS64
+		f32 = isa.TypeF32
+		f64 = isa.TypeF64
+	)
+	switch op {
+	case OpSMov, OpSNot, OpSAnd, OpSOr, OpSXor:
+		return types(b32, b64)
+	case OpSAndSaveexec, OpSOrSaveexec, OpSAndN2:
+		return types(b64)
+	case OpSAdd, OpSSub, OpSBfe, OpSAddc:
+		return types(u32)
+	case OpSMul, OpSAshr:
+		return types(s32)
+	case OpSLshl, OpSLshr:
+		return types(b32)
+	case OpSCmp:
+		return cmps(u32, s32)
+	case OpSEndpgm, OpSBranch, OpSCbranchSCC0, OpSCbranchSCC1,
+		OpSCbranchVCCZ, OpSCbranchVCCNZ, OpSCbranchExecZ, OpSCbranchExecNZ,
+		OpSBarrier, OpSNop, OpSWaitcnt,
+		OpSLoadDword, OpSLoadDwordx2, OpSLoadDwordx4,
+		OpFlatLoadDword, OpFlatLoadDwordx2, OpFlatStoreDword,
+		OpFlatStoreDwordx2, OpDSReadB32, OpDSWriteB32, OpDSReadB64, OpDSWriteB64:
+		return types(isa.TypeNone)
+	case OpFlatAtomicAdd, OpVAddc, OpDSAddU32:
+		return types(u32)
+	case OpVMov, OpVNot, OpVAnd, OpVOr, OpVXor, OpVCndmask:
+		return types(b32)
+	case OpVLshl, OpVLshr:
+		return types(b32, b64)
+	case OpVAshr:
+		return types(s32)
+	case OpVCvt:
+		pairs := [][2]isa.DataType{
+			{f32, u32}, {f32, s32}, {u32, f32}, {s32, f32},
+			{f64, f32}, {f32, f64}, {f64, u32}, {f64, s32},
+			{u32, f64}, {s32, f64}, {u64, u32}, {u32, u64},
+			{s64, s32},
+		}
+		ks := make([]comboKey, len(pairs))
+		for i, p := range pairs {
+			ks[i] = comboKey{op: op, typ: p[0], srcType: p[1]}
+		}
+		return ks
+	case OpVRcp, OpVSqrt, OpVRsq, OpVMul, OpVFma, OpVDivScale, OpVDivFmas, OpVDivFixup:
+		return types(f32, f64)
+	case OpVAdd, OpVSub:
+		return types(u32, f32, f64)
+	case OpVMulLo, OpVMulHi, OpVMad:
+		return types(u32)
+	case OpVMin, OpVMax:
+		return types(u32, s32, f32, f64)
+	case OpVCmp:
+		return cmps(u32, s32, u64, f32, f64)
+	}
+	return nil
+}
+
+func init() {
+	comboToCode = make(map[comboKey]uint16)
+	for op := Op(0); op < Op(NumOps); op++ {
+		f := op.baseFormat()
+		for _, k := range legalCombos(op) {
+			comboToCode[k] = uint16(len(codeToCombo[f]))
+			codeToCombo[f] = append(codeToCombo[f], k)
+		}
+	}
+	// Register VOP3 promotions: VOPC compares with SGPR destinations,
+	// VOP2 v_cndmask with SGPR selectors, and 64-bit VOP2 arithmetic all
+	// re-encode in VOP3. Give every promotable combo a VOP3 code too.
+	for op := Op(0); op < Op(NumOps); op++ {
+		if op.baseFormat() == FmtVOP3 || !promotableToVOP3(op) {
+			continue
+		}
+		for _, k := range legalCombos(op) {
+			k3 := comboKey{op: k.op, typ: k.typ, srcType: k.srcType, cmp: k.cmp}
+			key := vop3Key(k3)
+			if _, dup := comboToCode[key]; dup {
+				continue
+			}
+			comboToCode[key] = uint16(len(codeToCombo[FmtVOP3]))
+			codeToCombo[FmtVOP3] = append(codeToCombo[FmtVOP3], k3)
+		}
+	}
+	// Sanity: per-format code fields must hold every code.
+	limits := map[Format]int{
+		FmtSOP1: 256, FmtSOP2: 128, FmtSOPC: 128, FmtSOPP: 128,
+		FmtSMEM: 256, FmtVOP1: 256, FmtVOP2: 62, FmtVOPC: 256,
+		FmtVOP3: 1024, FmtFLAT: 256, FmtDS: 256,
+	}
+	for f, combos := range codeToCombo {
+		if len(combos) > limits[Format(f)] {
+			panic(fmt.Sprintf("gcn3: format %s opcode space overflow: %d", Format(f), len(combos)))
+		}
+	}
+}
+
+// promotableToVOP3 reports whether a 4-byte vector op has a VOP3 encoding.
+func promotableToVOP3(op Op) bool {
+	switch op {
+	case OpVCmp, OpVCndmask, OpVAdd, OpVSub, OpVMul, OpVMin, OpVMax,
+		OpVLshl, OpVLshr, OpVAshr:
+		return true
+	}
+	return false
+}
+
+// vop3Key marks a combo as VOP3-encoded by flipping the top bit of op; the
+// registry keeps promoted variants distinct from their base-format twins.
+func vop3Key(k comboKey) comboKey {
+	k.op |= 0x80
+	return k
+}
+
+// lookupCode returns the format opcode for the instruction.
+func lookupCode(in *Inst) (uint16, error) {
+	k := comboKey{op: in.Op, typ: in.Type, srcType: in.SrcType}
+	if in.Op == OpVCmp || in.Op == OpSCmp {
+		k.cmp = in.Cmp
+	}
+	if in.Format() == FmtVOP3 && in.Op.baseFormat() != FmtVOP3 {
+		k = vop3Key(k)
+	}
+	code, ok := comboToCode[k]
+	if !ok {
+		return 0, fmt.Errorf("gcn3: no encoding for %s (type %s, srcType %s)", in.Op, in.Type, in.SrcType)
+	}
+	return code, nil
+}
+
+// Source-operand encodings, following the GCN3 unified scheme.
+const (
+	srcVCC     = 106
+	srcEXEC    = 126
+	srcZero    = 128
+	srcIntPos  = 129 // 129..192 = 1..64
+	srcIntNeg  = 193 // 193..208 = -1..-16
+	srcFloat05 = 240 // 240..247 = 0.5, -0.5, 1.0, -1.0, 2.0, -2.0, 4.0, -4.0
+	srcSCC     = 251
+	srcLiteral = 255
+	srcVGPR0   = 256 // 256..511 = v0..v255 (9-bit encodings only)
+)
+
+var floatConsts = [8]float32{0.5, -0.5, 1.0, -1.0, 2.0, -2.0, 4.0, -4.0}
+
+// encodeSrc maps an operand to its source code, emitting a literal if needed.
+// wide selects the 9-bit space (vector formats); narrow formats get 8 bits.
+func encodeSrc(o Operand, wide bool, lit *[]uint32) (uint16, error) {
+	switch o.Kind {
+	case OperSGPR:
+		if o.Index >= isa.MaxSGPRs {
+			return 0, fmt.Errorf("gcn3: SGPR s%d out of range", o.Index)
+		}
+		return o.Index, nil
+	case OperVCC:
+		return srcVCC, nil
+	case OperEXEC:
+		return srcEXEC, nil
+	case OperSCC:
+		return srcSCC, nil
+	case OperVGPR:
+		if !wide {
+			return 0, fmt.Errorf("gcn3: VGPR source in scalar format")
+		}
+		if o.Index >= isa.MaxVGPRs {
+			return 0, fmt.Errorf("gcn3: VGPR v%d out of range", o.Index)
+		}
+		return srcVGPR0 + o.Index, nil
+	case OperInline:
+		v := int32(o.Val)
+		switch {
+		case v == 0:
+			return srcZero, nil
+		case v >= 1 && v <= 64:
+			return srcIntPos + uint16(v) - 1, nil
+		case v >= -16 && v <= -1:
+			return srcIntNeg + uint16(-v) - 1, nil
+		}
+		f := math.Float32frombits(o.Val)
+		for i, fc := range floatConsts {
+			if f == fc {
+				return srcFloat05 + uint16(i), nil
+			}
+		}
+		return 0, fmt.Errorf("gcn3: value %#x not inline-encodable", o.Val)
+	case OperLit:
+		*lit = append(*lit, o.Val)
+		return srcLiteral, nil
+	}
+	return 0, fmt.Errorf("gcn3: unencodable source operand kind %d", o.Kind)
+}
+
+// decodeSrc inverts encodeSrc. nextLit fetches the trailing literal.
+func decodeSrc(code uint16, nextLit func() (uint32, error)) (Operand, error) {
+	switch {
+	case code < isa.MaxSGPRs:
+		return Operand{Kind: OperSGPR, Index: code}, nil
+	case code == srcVCC:
+		return Operand{Kind: OperVCC}, nil
+	case code == srcEXEC:
+		return Operand{Kind: OperEXEC}, nil
+	case code == srcSCC:
+		return Operand{Kind: OperSCC}, nil
+	case code == srcZero:
+		return Operand{Kind: OperInline, Val: 0}, nil
+	case code >= srcIntPos && code < srcIntPos+64:
+		return Operand{Kind: OperInline, Val: uint32(code - srcIntPos + 1)}, nil
+	case code >= srcIntNeg && code < srcIntNeg+16:
+		return Operand{Kind: OperInline, Val: uint32(int32(-(int(code) - srcIntNeg + 1)))}, nil
+	case code >= srcFloat05 && code < srcFloat05+8:
+		return Operand{Kind: OperInline, Val: math.Float32bits(floatConsts[code-srcFloat05])}, nil
+	case code == srcLiteral:
+		v, err := nextLit()
+		return Operand{Kind: OperLit, Val: v}, err
+	case code >= srcVGPR0 && code < srcVGPR0+isa.MaxVGPRs:
+		return Operand{Kind: OperVGPR, Index: code - srcVGPR0}, nil
+	}
+	return Operand{}, fmt.Errorf("gcn3: bad source code %d", code)
+}
+
+// encodeSDst maps a scalar destination to its 7-bit code.
+func encodeSDst(o Operand) (uint16, error) {
+	switch o.Kind {
+	case OperNone:
+		return 127, nil // sentinel: no scalar destination
+	case OperSGPR:
+		if o.Index >= isa.MaxSGPRs {
+			return 0, fmt.Errorf("gcn3: SGPR s%d out of range", o.Index)
+		}
+		return o.Index, nil
+	case OperVCC:
+		return srcVCC, nil
+	case OperEXEC:
+		return srcEXEC, nil
+	}
+	return 0, fmt.Errorf("gcn3: unencodable scalar destination kind %d", o.Kind)
+}
+
+func decodeSDst(code uint16) (Operand, error) {
+	switch {
+	case code == 127:
+		return Operand{}, nil
+	case code < isa.MaxSGPRs:
+		return Operand{Kind: OperSGPR, Index: code}, nil
+	case code == srcVCC:
+		return Operand{Kind: OperVCC}, nil
+	case code == srcEXEC:
+		return Operand{Kind: OperEXEC}, nil
+	}
+	return Operand{}, fmt.Errorf("gcn3: bad scalar destination code %d", code)
+}
+
+// waitcntImm packs waitcnt fields GCN3-style: vmcnt in [3:0], lgkmcnt in
+// [12:8]; 0xF / 0x1F mean unconstrained.
+func waitcntImm(vm, lgkm int8) uint16 {
+	v := uint16(0xF)
+	if vm >= 0 {
+		v = uint16(vm) & 0xF
+	}
+	l := uint16(0x1F)
+	if lgkm >= 0 {
+		l = uint16(lgkm) & 0x1F
+	}
+	return v | l<<8
+}
+
+func waitcntFields(imm uint16) (vm, lgkm int8) {
+	vm, lgkm = -1, -1
+	if v := imm & 0xF; v != 0xF {
+		vm = int8(v)
+	}
+	if l := imm >> 8 & 0x1F; l != 0x1F {
+		lgkm = int8(l)
+	}
+	return vm, lgkm
+}
+
+// EncodeInst encodes one instruction. Branch targets must already be
+// expressed as a word offset in in.SImm (EncodeProgram handles this).
+func EncodeInst(in *Inst) ([]byte, error) {
+	f := in.Format()
+	code, err := lookupCode(in)
+	if err != nil {
+		return nil, err
+	}
+	var lits []uint32
+	var w0, w1 uint32
+	fail := func(format string, args ...any) ([]byte, error) {
+		return nil, fmt.Errorf("gcn3: encode %s: %s", in.Op, fmt.Sprintf(format, args...))
+	}
+	vgpr := func(o Operand) (uint32, error) {
+		if o.Kind != OperVGPR {
+			return 0, fmt.Errorf("gcn3: encode %s: operand must be a VGPR", in.Op)
+		}
+		return uint32(o.Index), nil
+	}
+	switch f {
+	case FmtVOP2:
+		if code >= 64 {
+			return fail("opcode space overflow")
+		}
+		vdst, err := vgpr(in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if in.Srcs[1].Kind != OperVGPR {
+			return fail("VOP2 src1 must be a VGPR (use VOP3 or commute)")
+		}
+		src0, err := encodeSrc(in.Srcs[0], true, &lits)
+		if err != nil {
+			return nil, err
+		}
+		w0 = uint32(code)<<25 | vdst<<17 | uint32(in.Srcs[1].Index)<<9 | uint32(src0)
+	case FmtVOP1:
+		vdst, err := vgpr(in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		src0, err := encodeSrc(in.Srcs[0], true, &lits)
+		if err != nil {
+			return nil, err
+		}
+		w0 = 0x3F<<25 | vdst<<17 | uint32(code)<<9 | uint32(src0)
+	case FmtVOPC:
+		if in.Srcs[1].Kind != OperVGPR {
+			return fail("VOPC src1 must be a VGPR")
+		}
+		src0, err := encodeSrc(in.Srcs[0], true, &lits)
+		if err != nil {
+			return nil, err
+		}
+		w0 = 0x3E<<25 | uint32(code)<<17 | uint32(in.Srcs[1].Index)<<9 | uint32(src0)
+	case FmtSOP2:
+		if code >= 128 {
+			return fail("opcode space overflow")
+		}
+		sdst, err := encodeSDst(in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		s0, err := encodeSrc(in.Srcs[0], false, &lits)
+		if err != nil {
+			return nil, err
+		}
+		s1, err := encodeSrc(in.Srcs[1], false, &lits)
+		if err != nil {
+			return nil, err
+		}
+		w0 = 0b10<<30 | uint32(code)<<23 | uint32(sdst)<<16 | uint32(s1)<<8 | uint32(s0)
+	case FmtSOP1:
+		sdst, err := encodeSDst(in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		s0, err := encodeSrc(in.Srcs[0], false, &lits)
+		if err != nil {
+			return nil, err
+		}
+		w0 = 0b101111101<<23 | uint32(sdst)<<16 | uint32(code)<<8 | uint32(s0)
+	case FmtSOPC:
+		s0, err := encodeSrc(in.Srcs[0], false, &lits)
+		if err != nil {
+			return nil, err
+		}
+		s1, err := encodeSrc(in.Srcs[1], false, &lits)
+		if err != nil {
+			return nil, err
+		}
+		w0 = 0b101111110<<23 | uint32(code)<<16 | uint32(s1)<<8 | uint32(s0)
+	case FmtSOPP:
+		imm := in.SImm
+		if in.Op == OpSWaitcnt {
+			imm = waitcntImm(in.VMCnt, in.LGKMCnt)
+		}
+		w0 = 0b101111111<<23 | uint32(code)<<16 | uint32(imm)
+	case FmtSMEM:
+		if in.Srcs[0].Kind != OperSGPR {
+			return fail("SMEM base must be an SGPR pair")
+		}
+		sdata, err := encodeSDst(in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if in.Offset < 0 || in.Offset >= 1<<20 {
+			return fail("SMEM offset %#x out of range", in.Offset)
+		}
+		w0 = 0b110000<<26 | uint32(code)<<18 | uint32(sdata)<<11 | uint32(in.Srcs[0].Index)<<4
+		w1 = uint32(in.Offset)
+	case FmtVOP3:
+		var vdst uint32
+		switch in.Dst.Kind {
+		case OperVGPR:
+			vdst = uint32(in.Dst.Index)
+		case OperSGPR: // v_cmp to SGPR pair: dst field reused
+			vdst = uint32(in.Dst.Index)
+		case OperVCC:
+			vdst = srcVCC
+		default:
+			return fail("bad VOP3 destination")
+		}
+		sdst, err := encodeSDst(in.SDst)
+		if err != nil {
+			return nil, err
+		}
+		var srcCodes [3]uint32
+		for i := 0; i < in.Op.NSrc(); i++ {
+			if in.Srcs[i].Kind == OperLit {
+				return fail("VOP3 cannot encode literals")
+			}
+			c, err := encodeSrc(in.Srcs[i], true, &lits)
+			if err != nil {
+				return nil, err
+			}
+			srcCodes[i] = uint32(c)
+		}
+		w0 = 0b110100<<26 | uint32(code)<<16 | vdst<<8 | uint32(sdst)<<1
+		if in.Op == OpVCmp && in.Dst.Kind == OperSGPR {
+			w0 |= 1 // flag: dst field names an SGPR pair
+		}
+		w1 = srcCodes[2]<<18 | srcCodes[1]<<9 | srcCodes[0]
+	case FmtFLAT:
+		var addr, data, vdst uint32
+		a, err := vgpr(in.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		addr = a
+		if in.Op.IsStore() || in.Op == OpFlatAtomicAdd {
+			d, err := vgpr(in.Srcs[1])
+			if err != nil {
+				return nil, err
+			}
+			data = d
+		}
+		if in.Dst.Kind == OperVGPR {
+			vdst = uint32(in.Dst.Index)
+		}
+		w0 = 0b110111<<26 | uint32(code)<<18
+		w1 = vdst<<16 | data<<8 | addr
+	case FmtDS:
+		a, err := vgpr(in.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		var data, vdst uint32
+		if in.Op.IsStore() || in.Op == OpDSAddU32 {
+			d, err := vgpr(in.Srcs[1])
+			if err != nil {
+				return nil, err
+			}
+			data = d
+		}
+		if in.Dst.Kind == OperVGPR {
+			vdst = uint32(in.Dst.Index)
+		}
+		if in.Offset < 0 || in.Offset >= 1<<16 {
+			return fail("DS offset %#x out of range", in.Offset)
+		}
+		w0 = 0b110110<<26 | uint32(code)<<18 | uint32(in.Offset)
+		w1 = vdst<<16 | data<<8 | a
+	default:
+		return fail("unhandled format %s", f)
+	}
+	if len(lits) > 1 {
+		return fail("multiple literal constants")
+	}
+	if len(lits) == 1 && !f.AllowsLiteral() {
+		return fail("literal constant in %s format", f)
+	}
+	buf := make([]byte, 0, 12)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], w0)
+	buf = append(buf, b4[:]...)
+	if f.BaseBytes() == 8 {
+		binary.LittleEndian.PutUint32(b4[:], w1)
+		buf = append(buf, b4[:]...)
+	}
+	for _, l := range lits {
+		binary.LittleEndian.PutUint32(b4[:], l)
+		buf = append(buf, b4[:]...)
+	}
+	if len(buf) != in.SizeBytes() {
+		return fail("size mismatch: encoded %d, SizeBytes %d", len(buf), in.SizeBytes())
+	}
+	return buf, nil
+}

@@ -1,0 +1,105 @@
+package gcn3
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// CodeObject is the finalized kernel container: machine code plus the
+// metadata the loader and packet processor need (the role the amdhsa code
+// object's ELF notes play in the real ROCm stack). Unlike BRIG, the text
+// section holds real hardware encodings that the timing model fetches from
+// simulated memory at their true variable sizes.
+type CodeObject struct {
+	Name string
+	// NumVGPRs / NumSGPRs are the per-wavefront register demands the
+	// allocator settled on; dispatch uses them for occupancy limits.
+	NumVGPRs int
+	NumSGPRs int
+	// KernargSize is the kernarg segment size in bytes.
+	KernargSize int
+	// GroupSize is the static LDS demand in bytes.
+	GroupSize int
+	// PrivateSize is the per-work-item scratch demand in bytes (private
+	// and spill segments combined, as finalized).
+	PrivateSize int
+	// WorkItemIDDims is how many work-item ID VGPRs the ABI initializes
+	// (v0=X always; v1=Y and v2=Z on request), per the kernel descriptor's
+	// enable_vgpr_workitem_id field in the real amdhsa ABI.
+	WorkItemIDDims int
+	// Program is the laid-out instruction stream.
+	Program *Program
+}
+
+var codeObjectMagic = [8]byte{'G', 'C', 'N', '3', '-', 'G', 'O', '1'}
+
+// Encode serializes the code object (header + encoded text section).
+func (co *CodeObject) Encode() ([]byte, error) {
+	text, err := EncodeProgram(co.Program)
+	if err != nil {
+		return nil, fmt.Errorf("gcn3: code object %q: %w", co.Name, err)
+	}
+	var buf bytes.Buffer
+	buf.Write(codeObjectMagic[:])
+	w := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) } //nolint:errcheck // bytes.Buffer cannot fail
+	w(uint32(len(co.Name)))
+	buf.WriteString(co.Name)
+	w(uint32(co.NumVGPRs))
+	w(uint32(co.NumSGPRs))
+	w(uint32(co.KernargSize))
+	w(uint32(co.GroupSize))
+	w(uint32(co.PrivateSize))
+	w(uint32(co.WorkItemIDDims))
+	w(uint32(len(text)))
+	buf.Write(text)
+	return buf.Bytes(), nil
+}
+
+// DecodeCodeObject parses an encoded code object.
+func DecodeCodeObject(data []byte) (*CodeObject, error) {
+	if len(data) < 8 || !bytes.Equal(data[:8], codeObjectMagic[:]) {
+		return nil, fmt.Errorf("gcn3: bad code object magic")
+	}
+	off := 8
+	u32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	nameLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if off+int(nameLen) > len(data) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	co := &CodeObject{Name: string(data[off : off+int(nameLen)])}
+	off += int(nameLen)
+	fields := []*int{&co.NumVGPRs, &co.NumSGPRs, &co.KernargSize, &co.GroupSize,
+		&co.PrivateSize, &co.WorkItemIDDims}
+	for _, f := range fields {
+		v, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	textLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if off+int(textLen) > len(data) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	prog, err := DecodeProgram(data[off : off+int(textLen)])
+	if err != nil {
+		return nil, err
+	}
+	co.Program = prog
+	return co, nil
+}

@@ -1,0 +1,170 @@
+// Package hsa models the user-level runtime substrate of the ROCm stack that
+// the paper's gem5 port executes against: AQL dispatch packets written to
+// in-memory queues, completion signals, a packet processor that launches
+// dispatches, and per-process memory-segment management.
+//
+// The segment manager is where a key behavioral difference lives: under the
+// GCN3 ABI, private/spill (scratch) memory is allocated per process and
+// reused across kernel launches, while the HSAIL path has no ABI and the
+// simulator must conjure fresh segment mappings at every dynamic launch —
+// which is exactly why FFT and LULESH show inflated HSAIL data footprints in
+// the paper's Table 6.
+package hsa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ilsim/internal/mem"
+)
+
+// PacketSize is the size of an AQL kernel-dispatch packet, per the HSA spec.
+const PacketSize = 64
+
+// AQLPacket is a kernel-dispatch packet. The byte layout written to memory
+// follows the HSA System Architecture specification, so the finalized GCN3
+// prologue can read geometry out of the real packet with scalar loads
+// (paper Table 1) — state that the HSAIL path keeps in the simulator.
+type AQLPacket struct {
+	Header             uint16
+	Setup              uint16 // number of dimensions
+	WorkgroupSize      [3]uint16
+	GridSize           [3]uint32
+	PrivateSegmentSize uint32
+	GroupSegmentSize   uint32
+	KernelObject       uint64 // address of the loaded code descriptor
+	KernargAddress     uint64
+	CompletionSignal   uint64 // address of the completion signal, 0 = none
+}
+
+// Packet header type codes (HSA packet_type field, simplified).
+const (
+	PacketTypeKernelDispatch = 2
+	PacketTypeInvalid        = 1
+)
+
+// Encode writes the packet in its architectural byte layout.
+func (p *AQLPacket) Encode() [PacketSize]byte {
+	var b [PacketSize]byte
+	le := binary.LittleEndian
+	le.PutUint16(b[0:], p.Header)
+	le.PutUint16(b[2:], p.Setup)
+	le.PutUint16(b[4:], p.WorkgroupSize[0])
+	le.PutUint16(b[6:], p.WorkgroupSize[1])
+	le.PutUint16(b[8:], p.WorkgroupSize[2])
+	le.PutUint32(b[12:], p.GridSize[0])
+	le.PutUint32(b[16:], p.GridSize[1])
+	le.PutUint32(b[20:], p.GridSize[2])
+	le.PutUint32(b[24:], p.PrivateSegmentSize)
+	le.PutUint32(b[28:], p.GroupSegmentSize)
+	le.PutUint64(b[32:], p.KernelObject)
+	le.PutUint64(b[40:], p.KernargAddress)
+	le.PutUint64(b[56:], p.CompletionSignal)
+	return b
+}
+
+// DecodePacket parses a packet from its byte layout.
+func DecodePacket(b []byte) (*AQLPacket, error) {
+	if len(b) < PacketSize {
+		return nil, fmt.Errorf("hsa: short packet (%d bytes)", len(b))
+	}
+	le := binary.LittleEndian
+	p := &AQLPacket{
+		Header: le.Uint16(b[0:]),
+		Setup:  le.Uint16(b[2:]),
+	}
+	p.WorkgroupSize[0] = le.Uint16(b[4:])
+	p.WorkgroupSize[1] = le.Uint16(b[6:])
+	p.WorkgroupSize[2] = le.Uint16(b[8:])
+	p.GridSize[0] = le.Uint32(b[12:])
+	p.GridSize[1] = le.Uint32(b[16:])
+	p.GridSize[2] = le.Uint32(b[20:])
+	p.PrivateSegmentSize = le.Uint32(b[24:])
+	p.GroupSegmentSize = le.Uint32(b[28:])
+	p.KernelObject = le.Uint64(b[32:])
+	p.KernargAddress = le.Uint64(b[40:])
+	p.CompletionSignal = le.Uint64(b[56:])
+	return p, nil
+}
+
+// Validate checks launch geometry.
+func (p *AQLPacket) Validate() error {
+	for d := 0; d < 3; d++ {
+		if p.WorkgroupSize[d] == 0 {
+			return fmt.Errorf("hsa: workgroup size %d is zero", d)
+		}
+		if p.GridSize[d] == 0 {
+			return fmt.Errorf("hsa: grid size %d is zero", d)
+		}
+		if p.GridSize[d]%uint32(p.WorkgroupSize[d]) != 0 {
+			return fmt.Errorf("hsa: grid size %d (%d) not a multiple of workgroup size (%d)",
+				d, p.GridSize[d], p.WorkgroupSize[d])
+		}
+	}
+	return nil
+}
+
+// Queue is a user-mode AQL queue: a ring of packets in simulated memory with
+// a doorbell. The host enqueues; the packet processor consumes.
+type Queue struct {
+	Base     uint64
+	NumSlots uint64
+	writeIdx uint64
+	readIdx  uint64
+	mem      *mem.Memory
+}
+
+// NewQueue carves a queue of numSlots packets at base.
+func NewQueue(m *mem.Memory, base uint64, numSlots uint64) *Queue {
+	return &Queue{Base: base, NumSlots: numSlots, mem: m}
+}
+
+// Enqueue writes a packet into the next slot and rings the doorbell.
+func (q *Queue) Enqueue(p *AQLPacket) error {
+	if q.writeIdx-q.readIdx >= q.NumSlots {
+		return fmt.Errorf("hsa: queue full")
+	}
+	slot := q.Base + (q.writeIdx%q.NumSlots)*PacketSize
+	b := p.Encode()
+	q.mem.Write(slot, b[:])
+	q.writeIdx++
+	return nil
+}
+
+// Dequeue reads the next pending packet, returning nil when empty.
+func (q *Queue) Dequeue() (*AQLPacket, uint64, error) {
+	if q.readIdx == q.writeIdx {
+		return nil, 0, nil
+	}
+	slot := q.Base + (q.readIdx%q.NumSlots)*PacketSize
+	var b [PacketSize]byte
+	q.mem.Read(slot, b[:])
+	q.readIdx++
+	p, err := DecodePacket(b[:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, slot, nil
+}
+
+// Pending returns the number of packets waiting.
+func (q *Queue) Pending() uint64 { return q.writeIdx - q.readIdx }
+
+// Signal is an HSA signal: a 64-bit value in memory used for completion.
+type Signal struct {
+	Addr uint64
+	mem  *mem.Memory
+}
+
+// NewSignal places a signal at addr with an initial value.
+func NewSignal(m *mem.Memory, addr uint64, initial int64) *Signal {
+	s := &Signal{Addr: addr, mem: m}
+	m.WriteU64(addr, uint64(initial))
+	return s
+}
+
+// Load returns the current value.
+func (s *Signal) Load() int64 { return int64(s.mem.ReadU64(s.Addr)) }
+
+// Sub atomically subtracts v (the completion convention: 1 → 0).
+func (s *Signal) Sub(v int64) { s.mem.WriteU64(s.Addr, uint64(s.Load()-v)) }

@@ -1,0 +1,117 @@
+package hsa
+
+import (
+	"fmt"
+
+	"ilsim/internal/isa"
+)
+
+// Dispatch is one kernel launch after packet-processor expansion: geometry,
+// segment bases, and the workgroup list handed to the GPU front-end.
+type Dispatch struct {
+	Packet     *AQLPacket
+	PacketAddr uint64
+
+	// Kernel identification: resolved by the loader from KernelObject.
+	KernelName string
+
+	// PrivateBase/PrivateStride locate the scratch arena: address for a
+	// work-item is PrivateBase + flatAbsID*PrivateStride (+ offset).
+	PrivateBase   uint64
+	PrivateStride uint32
+
+	// SpillBase/SpillStride locate the HSAIL spill segment. The GCN3 path
+	// folds spill into private scratch at finalization, so these are used
+	// only by the HSAIL emulator.
+	SpillBase   uint64
+	SpillStride uint32
+
+	// Workgroups in dispatch order.
+	Workgroups []WorkgroupInfo
+}
+
+// WorkgroupInfo is one workgroup's geometry.
+type WorkgroupInfo struct {
+	ID     [3]uint32
+	FlatID uint32
+	// Size is the number of work-items (product of workgroup dims,
+	// clamped by the grid edge — grids here are always multiples, so it
+	// equals the workgroup size).
+	Size int
+	// NumWaves is ceil(Size / WavefrontSize).
+	NumWaves int
+	// FirstAbsFlatID is the flat absolute ID of the workgroup's first
+	// work-item.
+	FirstAbsFlatID uint64
+}
+
+// GridTotal returns the total number of work-items in the dispatch.
+func (d *Dispatch) GridTotal() uint64 {
+	p := d.Packet
+	return uint64(p.GridSize[0]) * uint64(p.GridSize[1]) * uint64(p.GridSize[2])
+}
+
+// WorkgroupTotal returns work-items per workgroup.
+func (d *Dispatch) WorkgroupTotal() int {
+	p := d.Packet
+	return int(p.WorkgroupSize[0]) * int(p.WorkgroupSize[1]) * int(p.WorkgroupSize[2])
+}
+
+// ExpandDispatch validates a packet and expands its workgroup list.
+func ExpandDispatch(p *AQLPacket, packetAddr uint64) (*Dispatch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dispatch{Packet: p, PacketAddr: packetAddr}
+	var numWGs [3]uint32
+	for i := 0; i < 3; i++ {
+		numWGs[i] = p.GridSize[i] / uint32(p.WorkgroupSize[i])
+	}
+	wgTotal := d.WorkgroupTotal()
+	if wgTotal > 16*isa.WavefrontSize {
+		return nil, fmt.Errorf("hsa: workgroup of %d work-items exceeds 16 waves", wgTotal)
+	}
+	numWaves := (wgTotal + isa.WavefrontSize - 1) / isa.WavefrontSize
+	flat := uint32(0)
+	for z := uint32(0); z < numWGs[2]; z++ {
+		for y := uint32(0); y < numWGs[1]; y++ {
+			for x := uint32(0); x < numWGs[0]; x++ {
+				d.Workgroups = append(d.Workgroups, WorkgroupInfo{
+					ID:             [3]uint32{x, y, z},
+					FlatID:         flat,
+					Size:           wgTotal,
+					NumWaves:       numWaves,
+					FirstAbsFlatID: uint64(flat) * uint64(wgTotal),
+				})
+				flat++
+			}
+		}
+	}
+	return d, nil
+}
+
+// AbsID returns the absolute work-item ID in each dimension for a work-item
+// identified by workgroup and intra-group flat ID.
+func (d *Dispatch) AbsID(wg *WorkgroupInfo, wiFlat int) [3]uint32 {
+	p := d.Packet
+	sx, sy := int(p.WorkgroupSize[0]), int(p.WorkgroupSize[1])
+	lx := uint32(wiFlat % sx)
+	ly := uint32(wiFlat / sx % sy)
+	lz := uint32(wiFlat / (sx * sy))
+	return [3]uint32{
+		wg.ID[0]*uint32(p.WorkgroupSize[0]) + lx,
+		wg.ID[1]*uint32(p.WorkgroupSize[1]) + ly,
+		wg.ID[2]*uint32(p.WorkgroupSize[2]) + lz,
+	}
+}
+
+// LocalID returns the intra-workgroup ID in each dimension.
+func (d *Dispatch) LocalID(wiFlat int) [3]uint32 {
+	p := d.Packet
+	sx, sy := int(p.WorkgroupSize[0]), int(p.WorkgroupSize[1])
+	return [3]uint32{
+		uint32(wiFlat % sx),
+		uint32(wiFlat / sx % sy),
+		uint32(wiFlat / (sx * sy)),
+	}
+}

@@ -1,0 +1,186 @@
+package hsa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ilsim/internal/mem"
+)
+
+func TestPacketEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(wgx, wgy, wgz uint16, gx, gy, gz uint32, priv, group uint32, ko, ka, sig uint64) bool {
+		p := &AQLPacket{
+			Header: PacketTypeKernelDispatch, Setup: 3,
+			WorkgroupSize:      [3]uint16{wgx, wgy, wgz},
+			GridSize:           [3]uint32{gx, gy, gz},
+			PrivateSegmentSize: priv, GroupSegmentSize: group,
+			KernelObject: ko, KernargAddress: ka, CompletionSignal: sig,
+		}
+		b := p.Encode()
+		got, err := DecodePacket(b[:])
+		return err == nil && *got == *p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketFieldOffsets(t *testing.T) {
+	// The GCN3 prologue depends on the architectural byte layout.
+	p := &AQLPacket{WorkgroupSize: [3]uint16{64, 2, 3}, GridSize: [3]uint32{1024, 5, 6}}
+	b := p.Encode()
+	if b[4] != 64 || b[6] != 2 || b[8] != 3 {
+		t.Fatalf("workgroup sizes misplaced: % x", b[:12])
+	}
+	if b[12] != 0 || b[13] != 4 { // 1024 little-endian at offset 12
+		t.Fatalf("grid size misplaced: % x", b[12:16])
+	}
+}
+
+func TestPacketValidate(t *testing.T) {
+	good := &AQLPacket{WorkgroupSize: [3]uint16{64, 1, 1}, GridSize: [3]uint32{128, 1, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good packet rejected: %v", err)
+	}
+	bad := &AQLPacket{WorkgroupSize: [3]uint16{64, 1, 1}, GridSize: [3]uint32{100, 1, 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-multiple grid accepted")
+	}
+	zero := &AQLPacket{WorkgroupSize: [3]uint16{0, 1, 1}, GridSize: [3]uint32{64, 1, 1}}
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero workgroup accepted")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	m := mem.NewMemory()
+	q := NewQueue(m, 0x1000, 4)
+	for i := 0; i < 4; i++ {
+		p := &AQLPacket{Header: PacketTypeKernelDispatch,
+			WorkgroupSize: [3]uint16{64, 1, 1}, GridSize: [3]uint32{uint32(64 * (i + 1)), 1, 1}}
+		if err := q.Enqueue(p); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if err := q.Enqueue(&AQLPacket{}); err == nil {
+		t.Fatal("full queue accepted a packet")
+	}
+	for i := 0; i < 4; i++ {
+		p, addr, err := q.Dequeue()
+		if err != nil || p == nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		if p.GridSize[0] != uint32(64*(i+1)) {
+			t.Fatalf("FIFO order broken: got grid %d at %d", p.GridSize[0], i)
+		}
+		if addr < 0x1000 || addr >= 0x1000+4*PacketSize {
+			t.Fatalf("packet address %#x outside ring", addr)
+		}
+	}
+	if p, _, _ := q.Dequeue(); p != nil {
+		t.Fatal("empty queue returned a packet")
+	}
+}
+
+func TestSignal(t *testing.T) {
+	m := mem.NewMemory()
+	s := NewSignal(m, 0x2000, 2)
+	if s.Load() != 2 {
+		t.Fatal("initial value")
+	}
+	s.Sub(1)
+	s.Sub(1)
+	if s.Load() != 0 {
+		t.Fatal("sub")
+	}
+}
+
+func TestExpandDispatchGeometry(t *testing.T) {
+	p := &AQLPacket{
+		WorkgroupSize: [3]uint16{64, 1, 1},
+		GridSize:      [3]uint32{256, 2, 1},
+	}
+	d, err := ExpandDispatch(p, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Workgroups) != 8 {
+		t.Fatalf("workgroups %d, want 8", len(d.Workgroups))
+	}
+	if d.GridTotal() != 512 || d.WorkgroupTotal() != 64 {
+		t.Fatalf("totals: %d/%d", d.GridTotal(), d.WorkgroupTotal())
+	}
+	// Workgroup IDs iterate x fastest.
+	if d.Workgroups[1].ID != [3]uint32{1, 0, 0} || d.Workgroups[4].ID != [3]uint32{0, 1, 0} {
+		t.Fatalf("ID order: %v %v", d.Workgroups[1].ID, d.Workgroups[4].ID)
+	}
+	if d.Workgroups[5].FirstAbsFlatID != 5*64 {
+		t.Fatalf("FirstAbsFlatID %d", d.Workgroups[5].FirstAbsFlatID)
+	}
+	// Absolute and local IDs.
+	wg := &d.Workgroups[1]
+	abs := d.AbsID(wg, 3)
+	if abs != [3]uint32{67, 0, 0} {
+		t.Fatalf("AbsID %v", abs)
+	}
+	if d.LocalID(3) != [3]uint32{3, 0, 0} {
+		t.Fatalf("LocalID %v", d.LocalID(3))
+	}
+}
+
+func TestExpandDispatchPartialWave(t *testing.T) {
+	p := &AQLPacket{
+		WorkgroupSize: [3]uint16{80, 1, 1}, // 2 waves, second partial
+		GridSize:      [3]uint32{160, 1, 1},
+	}
+	d, err := ExpandDispatch(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Workgroups[0].NumWaves != 2 {
+		t.Fatalf("NumWaves %d, want 2", d.Workgroups[0].NumWaves)
+	}
+}
+
+func TestScratchSemantics(t *testing.T) {
+	c := NewContext()
+	// GCN3: per-process scratch is reused when it fits, grown otherwise.
+	a1 := c.ScratchForGCN3(1 << 12)
+	a2 := c.ScratchForGCN3(1 << 10) // smaller: reuse
+	if a1 != a2 {
+		t.Fatal("GCN3 scratch not reused across launches")
+	}
+	a3 := c.ScratchForGCN3(1 << 20) // bigger: grow
+	if a3 == a1 {
+		t.Fatal("GCN3 scratch not grown for larger demand")
+	}
+	// HSAIL: every launch maps fresh segment memory.
+	h1 := c.ScratchForHSAIL(1 << 10)
+	h2 := c.ScratchForHSAIL(1 << 10)
+	if h1 == h2 {
+		t.Fatal("HSAIL scratch reused — the emulated ABI must remap per launch")
+	}
+	if c.ScratchForHSAIL(0) != 0 || c.ScratchForGCN3(0) != 0 {
+		t.Fatal("zero-size scratch should be 0")
+	}
+}
+
+func TestContextRegionsDisjoint(t *testing.T) {
+	c := NewContext()
+	code := c.AllocCode(1 << 12)
+	buf := c.AllocBuffer(1 << 12)
+	ka := c.AllocKernarg(64)
+	q := c.AllocQueueSlot(64)
+	addrs := []uint64{code, buf, ka, q}
+	regions := [][2]uint64{
+		{CodeBase, CodeBase + CodeSize},
+		{HeapBase, HeapBase + HeapSize},
+		{KernargBase, KernargBase + KernargSize},
+		{QueueBase, QueueBase + QueueSize},
+	}
+	for i, a := range addrs {
+		if a < regions[i][0] || a >= regions[i][1] {
+			t.Fatalf("allocation %d (%#x) outside its region %v", i, a, regions[i])
+		}
+	}
+}

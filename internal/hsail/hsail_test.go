@@ -1,0 +1,178 @@
+package hsail
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ilsim/internal/isa"
+)
+
+// sampleKernel builds a kernel touching every operand form.
+func sampleKernel() *Kernel {
+	k := &Kernel{
+		Name:        "sample",
+		NumRegSlots: 16,
+		NumCRegs:    2,
+		Args: []ArgInfo{
+			{Name: "in", Size: 8, Offset: 0},
+			{Name: "n", Size: 4, Offset: 8},
+		},
+		KernargSize: 12,
+		GroupSize:   256,
+		PrivateSize: 16,
+		SpillSize:   8,
+	}
+	b0 := &Block{ID: 0, Insts: []Inst{
+		{Op: OpWorkItemAbsId, Type: isa.TypeU32, Dim: isa.DimX, Dst: Reg(0)},
+		{Op: OpLd, Type: isa.TypeU64, Seg: SegKernarg, Dst: Reg(2), Addr: MemAddr{Base: ArgSym(0)}},
+		{Op: OpCvt, Type: isa.TypeU64, SrcType: isa.TypeU32, Dst: Reg(4), Srcs: [3]Operand{Reg(0)}, NSrc: 1},
+		{Op: OpShl, Type: isa.TypeU64, Dst: Reg(6), Srcs: [3]Operand{Reg(4), Imm(2)}, NSrc: 2},
+		{Op: OpAdd, Type: isa.TypeU64, Dst: Reg(8), Srcs: [3]Operand{Reg(2), Reg(6)}, NSrc: 2},
+		{Op: OpLd, Type: isa.TypeU32, Seg: SegGlobal, Dst: Reg(10), Addr: MemAddr{Base: Reg(8), Offset: 4}},
+		{Op: OpCmp, SrcType: isa.TypeU32, Cmp: isa.CmpLt, Dst: CReg(0), Srcs: [3]Operand{Reg(10), Imm(7)}, NSrc: 2},
+		{Op: OpCBr, Srcs: [3]Operand{CReg(0)}, NSrc: 1, Target: 2},
+	}}
+	b1 := &Block{ID: 1, Insts: []Inst{
+		{Op: OpMad, Type: isa.TypeU32, Dst: Reg(11), Srcs: [3]Operand{Reg(10), Reg(10), Imm(3)}, NSrc: 3},
+		{Op: OpSt, Type: isa.TypeU32, Seg: SegGlobal, Srcs: [3]Operand{Reg(11)}, NSrc: 1, Addr: MemAddr{Base: Reg(8)}},
+	}}
+	b2 := &Block{ID: 2, Insts: []Inst{
+		{Op: OpBarrier},
+		{Op: OpRet},
+	}}
+	k.Blocks = []*Block{b0, b1, b2}
+	return k
+}
+
+func TestBRIGRoundTrip(t *testing.T) {
+	k := sampleKernel()
+	data, err := EncodeBRIG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBRIG(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(k, got) {
+		t.Fatalf("round-trip mismatch:\nin:  %+v\nout: %+v", k, got)
+	}
+}
+
+func TestBRIGIsVerbose(t *testing.T) {
+	// The container must reflect BRIG's design point: far larger than the
+	// 8-byte loaded approximation (paper §III.C.3).
+	k := sampleKernel()
+	data, err := EncodeBRIG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 5*k.CodeBytes() {
+		t.Fatalf("BRIG %d bytes is not verbose vs %d loaded bytes", len(data), k.CodeBytes())
+	}
+}
+
+func TestBRIGRejectsCorruption(t *testing.T) {
+	k := sampleKernel()
+	data, _ := EncodeBRIG(k)
+	if _, err := DecodeBRIG(data[:8]); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := DecodeBRIG(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBRIGRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ops := []Op{OpAdd, OpSub, OpMul, OpMin, OpMax, OpAnd, OpOr, OpXor, OpShl, OpShr}
+	types := []isa.DataType{isa.TypeU32, isa.TypeS32, isa.TypeF32}
+	for iter := 0; iter < 100; iter++ {
+		k := &Kernel{Name: "rand", NumRegSlots: 32}
+		b := &Block{ID: 0}
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			in := Inst{
+				Op:   ops[rng.Intn(len(ops))],
+				Type: types[rng.Intn(len(types))],
+				Dst:  Reg(rng.Intn(31)),
+				Srcs: [3]Operand{Reg(rng.Intn(31)), Imm(rng.Uint64())},
+				NSrc: 2,
+			}
+			b.Insts = append(b.Insts, in)
+		}
+		b.Insts = append(b.Insts, Inst{Op: OpRet})
+		k.Blocks = []*Block{b}
+		data, err := EncodeBRIG(k)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		got, err := DecodeBRIG(data)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !reflect.DeepEqual(k, got) {
+			t.Fatalf("iter %d: mismatch", iter)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Kernel){
+		func(k *Kernel) { k.Blocks[0].Insts[7].Target = 99 },           // bad branch target
+		func(k *Kernel) { k.Blocks[0].Insts[0].Dst = Reg(100) },        // register out of range
+		func(k *Kernel) { k.Blocks[0].Insts[6].Dst = CReg(9) },         // creg out of range
+		func(k *Kernel) { k.Blocks[0].Insts[1].Addr.Base = ArgSym(5) }, // bad arg symbol
+		func(k *Kernel) { k.Blocks = k.Blocks[:0] },                    // empty kernel
+	}
+	for i, mutate := range cases {
+		k := sampleKernel()
+		mutate(k)
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d: corruption not caught", i)
+		}
+	}
+	if err := sampleKernel().Validate(); err != nil {
+		t.Fatalf("pristine kernel rejected: %v", err)
+	}
+}
+
+func TestDisassemblyMentionsEveryInstruction(t *testing.T) {
+	k := sampleKernel()
+	asm := k.Disassemble()
+	for _, frag := range []string{"workitemabsid", "ld_kernarg", "cvt_u64_u32",
+		"shl_u64", "ld_global_u32", "cmp_lt_u32", "cbr", "mad_u32",
+		"st_global_u32", "barrier", "ret", "@BB2"} {
+		if !strings.Contains(asm, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, asm)
+		}
+	}
+}
+
+func TestOpCategories(t *testing.T) {
+	// HSAIL never produces scalar or waitcnt categories (Fig 5 caption).
+	for op := Op(0); op < Op(NumOps); op++ {
+		switch op.Category() {
+		case isa.CatSALU, isa.CatSMem, isa.CatWaitcnt, isa.CatLDS:
+			t.Errorf("HSAIL op %s claims machine-only category %s", op, op.Category())
+		}
+	}
+	if OpLd.Category() != isa.CatVMem || OpCBr.Category() != isa.CatBranch ||
+		OpBarrier.Category() != isa.CatMisc || OpFma.Category() != isa.CatVALU {
+		t.Error("category misclassification")
+	}
+}
+
+func TestCodeBytes(t *testing.T) {
+	k := sampleKernel()
+	if k.NumInsts() != 12 {
+		t.Fatalf("NumInsts %d", k.NumInsts())
+	}
+	if k.CodeBytes() != 12*InstBytes {
+		t.Fatalf("CodeBytes %d", k.CodeBytes())
+	}
+}

@@ -1,0 +1,70 @@
+package hwmodel
+
+import (
+	"testing"
+
+	"ilsim/internal/core"
+	"ilsim/internal/workloads"
+)
+
+func TestPerturbationDeterministicAndBounded(t *testing.T) {
+	for _, name := range []string{"ArrayBW", "LULESH", "FFT", "MD"} {
+		for k := 0; k < 30; k++ {
+			p1 := perturbation(name, k)
+			p2 := perturbation(name, k)
+			if p1 != p2 {
+				t.Fatalf("%s/%d: nondeterministic perturbation", name, k)
+			}
+			if p1 < 1.0 || p1 > 2.7 {
+				t.Fatalf("%s/%d: perturbation %v outside the calibrated band", name, k, p1)
+			}
+		}
+	}
+	if perturbation("ArrayBW", 0) == perturbation("LULESH", 0) {
+		t.Fatal("different workloads share a perturbation")
+	}
+}
+
+func TestSiliconConfigSlower(t *testing.T) {
+	base := core.DefaultConfig()
+	sil := SiliconConfig()
+	if sil.DRAMLatency <= base.DRAMLatency || sil.L2HitLatency <= base.L2HitLatency {
+		t.Fatal("silicon config must model ADDED latency")
+	}
+	if err := sil.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleRuntimes(t *testing.T) {
+	o, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("HPGMG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := o.KernelRuntimes(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) == 0 {
+		t.Fatal("no kernel runtimes")
+	}
+	for i, v := range times {
+		if v <= 0 {
+			t.Fatalf("kernel %d: non-positive runtime %v", i, v)
+		}
+	}
+	// Determinism.
+	again, err := o.KernelRuntimes(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range times {
+		if times[i] != again[i] {
+			t.Fatalf("oracle nondeterministic at kernel %d", i)
+		}
+	}
+}

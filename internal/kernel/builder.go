@@ -1,0 +1,440 @@
+// Package kernel provides the "high-level compiler" frontend of the modeled
+// toolchain: a programmatic builder that constructs HSAIL kernels (the role
+// HCC plays in the paper's Figure 4 flow), plus the control-flow-graph
+// analyses that both the IL simulator (immediate post-dominator reconvergence
+// points, paper §III.C.1) and the finalizer (reducibility, structured-region
+// discovery for if-conversion) require.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+)
+
+// Val is a typed value reference: a virtual register, immediate, or control
+// register, together with its data type. Builder methods accept and return
+// Vals so kernels read like three-address code.
+type Val struct {
+	Op hsail.Operand
+	T  isa.DataType
+}
+
+// IsReg reports whether the value is a virtual register.
+func (v Val) IsReg() bool { return v.Op.Kind == hsail.OperReg }
+
+// BlockRef names a basic block under construction.
+type BlockRef struct{ id int }
+
+// ID returns the referenced block's ID.
+func (b BlockRef) ID() int { return b.id }
+
+// Builder incrementally constructs an HSAIL kernel.
+type Builder struct {
+	k        *hsail.Kernel
+	cur      *hsail.Block
+	nextSlot int
+	nextCReg int
+	err      error
+}
+
+// NewBuilder starts a kernel named name. The entry block is current.
+func NewBuilder(name string) *Builder {
+	b := &Builder{k: &hsail.Kernel{Name: name}}
+	entry := &hsail.Block{ID: 0}
+	b.k.Blocks = append(b.k.Blocks, entry)
+	b.cur = entry
+	return b
+}
+
+// fail records the first construction error; Finish reports it.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kernel %q: %s", b.k.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Arg declares a kernel argument of the given size (4 or 8 bytes) and returns
+// its argument index for kernarg loads.
+func (b *Builder) Arg(name string, size int) int {
+	if size != 4 && size != 8 {
+		b.fail("argument %q has unsupported size %d", name, size)
+		size = 8
+	}
+	off := b.k.KernargSize
+	// HSA kernarg layout: natural alignment.
+	if rem := off % size; rem != 0 {
+		off += size - rem
+	}
+	b.k.Args = append(b.k.Args, hsail.ArgInfo{Name: name, Size: size, Offset: off})
+	b.k.KernargSize = off + size
+	return len(b.k.Args) - 1
+}
+
+// ArgPtr declares an 8-byte pointer argument.
+func (b *Builder) ArgPtr(name string) int { return b.Arg(name, 8) }
+
+// ArgU32 declares a 4-byte argument.
+func (b *Builder) ArgU32(name string) int { return b.Arg(name, 4) }
+
+// SetGroupSize declares the static group (LDS) segment demand in bytes.
+func (b *Builder) SetGroupSize(n int) { b.k.GroupSize = n }
+
+// SetPrivateSize declares the per-work-item private segment demand in bytes.
+func (b *Builder) SetPrivateSize(n int) { b.k.PrivateSize = n }
+
+// SetSpillSize declares the per-work-item spill segment demand in bytes.
+func (b *Builder) SetSpillSize(n int) { b.k.SpillSize = n }
+
+// Reg allocates a fresh virtual register of type t.
+func (b *Builder) Reg(t isa.DataType) Val {
+	n := t.Regs()
+	if n == 0 {
+		b.fail("cannot allocate register of type %s", t)
+		n = 1
+	}
+	v := Val{Op: hsail.Reg(b.nextSlot), T: t}
+	b.nextSlot += n
+	if b.nextSlot > b.k.NumRegSlots {
+		b.k.NumRegSlots = b.nextSlot
+	}
+	return v
+}
+
+// CRegVal allocates a fresh control register.
+func (b *Builder) CRegVal() Val {
+	v := Val{Op: hsail.CReg(b.nextCReg), T: isa.TypeNone}
+	b.nextCReg++
+	if b.nextCReg > b.k.NumCRegs {
+		b.k.NumCRegs = b.nextCReg
+	}
+	return v
+}
+
+// Int returns an integer immediate of type t.
+func (b *Builder) Int(t isa.DataType, v int64) Val {
+	return Val{Op: hsail.Imm(uint64(v)), T: t}
+}
+
+// F32 returns a float32 immediate.
+func (b *Builder) F32(v float32) Val {
+	return Val{Op: hsail.Imm(uint64(math.Float32bits(v))), T: isa.TypeF32}
+}
+
+// F64 returns a float64 immediate.
+func (b *Builder) F64(v float64) Val {
+	return Val{Op: hsail.Imm(math.Float64bits(v)), T: isa.TypeF64}
+}
+
+// Block creates a new, initially empty basic block (does not switch to it).
+func (b *Builder) Block() BlockRef {
+	blk := &hsail.Block{ID: len(b.k.Blocks)}
+	b.k.Blocks = append(b.k.Blocks, blk)
+	return BlockRef{id: blk.ID}
+}
+
+// StartBlock switches emission to the referenced block.
+func (b *Builder) StartBlock(r BlockRef) {
+	if r.id < 0 || r.id >= len(b.k.Blocks) {
+		b.fail("StartBlock: bad block %d", r.id)
+		return
+	}
+	b.cur = b.k.Blocks[r.id]
+}
+
+// emit appends an instruction to the current block.
+func (b *Builder) emit(in hsail.Inst) {
+	b.cur.Insts = append(b.cur.Insts, in)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(hsail.Inst{Op: hsail.OpNop}) }
+
+// Mov emits dst = src and returns dst.
+func (b *Builder) Mov(t isa.DataType, src Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpMov, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{src.Op}, NSrc: 1})
+	return dst
+}
+
+// MovTo emits dst = src into an existing register (for loop-carried values).
+func (b *Builder) MovTo(dst, src Val) {
+	if !dst.IsReg() {
+		b.fail("MovTo: destination is not a register")
+		return
+	}
+	b.emit(hsail.Inst{Op: hsail.OpMov, Type: dst.T, Dst: dst.Op, Srcs: [3]hsail.Operand{src.Op}, NSrc: 1})
+}
+
+// Cvt emits dst = convert(src) to type t.
+func (b *Builder) Cvt(t isa.DataType, src Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpCvt, Type: t, SrcType: src.T, Dst: dst.Op, Srcs: [3]hsail.Operand{src.Op}, NSrc: 1})
+	return dst
+}
+
+// Binary emits dst = src0 <op> src1 of type t and returns dst.
+func (b *Builder) Binary(op hsail.Op, t isa.DataType, s0, s1 Val) Val {
+	dst := b.Reg(t)
+	b.BinaryTo(op, dst, s0, s1)
+	return dst
+}
+
+// BinaryTo emits dst = src0 <op> src1 into an existing register.
+func (b *Builder) BinaryTo(op hsail.Op, dst, s0, s1 Val) {
+	b.emit(hsail.Inst{Op: op, Type: dst.T, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op, s1.Op}, NSrc: 2})
+}
+
+// Add emits dst = s0 + s1.
+func (b *Builder) Add(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpAdd, t, s0, s1) }
+
+// Sub emits dst = s0 - s1.
+func (b *Builder) Sub(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpSub, t, s0, s1) }
+
+// Mul emits dst = s0 * s1.
+func (b *Builder) Mul(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpMul, t, s0, s1) }
+
+// Div emits dst = s0 / s1 (a single IL instruction; paper Table 3).
+func (b *Builder) Div(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpDiv, t, s0, s1) }
+
+// Rem emits dst = s0 % s1.
+func (b *Builder) Rem(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpRem, t, s0, s1) }
+
+// Min emits dst = min(s0, s1).
+func (b *Builder) Min(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpMin, t, s0, s1) }
+
+// Max emits dst = max(s0, s1).
+func (b *Builder) Max(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpMax, t, s0, s1) }
+
+// And emits dst = s0 & s1.
+func (b *Builder) And(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpAnd, t, s0, s1) }
+
+// Or emits dst = s0 | s1.
+func (b *Builder) Or(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpOr, t, s0, s1) }
+
+// Xor emits dst = s0 ^ s1.
+func (b *Builder) Xor(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpXor, t, s0, s1) }
+
+// Shl emits dst = s0 << s1.
+func (b *Builder) Shl(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpShl, t, s0, s1) }
+
+// Shr emits dst = s0 >> s1.
+func (b *Builder) Shr(t isa.DataType, s0, s1 Val) Val { return b.Binary(hsail.OpShr, t, s0, s1) }
+
+// Mad emits dst = s0*s1 + s2.
+func (b *Builder) Mad(t isa.DataType, s0, s1, s2 Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpMad, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op, s1.Op, s2.Op}, NSrc: 3})
+	return dst
+}
+
+// Fma emits dst = fma(s0, s1, s2).
+func (b *Builder) Fma(t isa.DataType, s0, s1, s2 Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpFma, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op, s1.Op, s2.Op}, NSrc: 3})
+	return dst
+}
+
+// Sqrt emits dst = sqrt(s0).
+func (b *Builder) Sqrt(t isa.DataType, s0 Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpSqrt, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op}, NSrc: 1})
+	return dst
+}
+
+// Rsqrt emits dst = 1/sqrt(s0).
+func (b *Builder) Rsqrt(t isa.DataType, s0 Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpRsqrt, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op}, NSrc: 1})
+	return dst
+}
+
+// Abs emits dst = |s0|.
+func (b *Builder) Abs(t isa.DataType, s0 Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpAbs, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op}, NSrc: 1})
+	return dst
+}
+
+// Not emits dst = ^s0.
+func (b *Builder) Not(t isa.DataType, s0 Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpNot, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op}, NSrc: 1})
+	return dst
+}
+
+// Neg emits dst = -s0.
+func (b *Builder) Neg(t isa.DataType, s0 Val) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpNeg, Type: t, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op}, NSrc: 1})
+	return dst
+}
+
+// Cmp emits a comparison producing a control register.
+func (b *Builder) Cmp(op isa.CmpOp, t isa.DataType, s0, s1 Val) Val {
+	dst := b.CRegVal()
+	b.emit(hsail.Inst{Op: hsail.OpCmp, SrcType: t, Cmp: op, Dst: dst.Op, Srcs: [3]hsail.Operand{s0.Op, s1.Op}, NSrc: 2})
+	return dst
+}
+
+// Cmov emits dst = c ? s0 : s1 (predication without branching).
+func (b *Builder) Cmov(t isa.DataType, c, s0, s1 Val) Val {
+	dst := b.Reg(t)
+	b.CmovTo(dst, c, s0, s1)
+	return dst
+}
+
+// CmovTo emits dst = c ? s0 : s1 into an existing register.
+func (b *Builder) CmovTo(dst, c, s0, s1 Val) {
+	b.emit(hsail.Inst{Op: hsail.OpCmov, Type: dst.T, Dst: dst.Op,
+		Srcs: [3]hsail.Operand{c.Op, s0.Op, s1.Op}, NSrc: 3})
+}
+
+// LoadArg emits ld_kernarg dst, [%argN]. The address is an abstract symbol:
+// under HSAIL no register ever holds the kernarg base (paper Table 2).
+func (b *Builder) LoadArg(arg int) Val {
+	if arg < 0 || arg >= len(b.k.Args) {
+		b.fail("LoadArg: bad argument index %d", arg)
+		return Val{}
+	}
+	t := isa.TypeU64
+	if b.k.Args[arg].Size == 4 {
+		t = isa.TypeU32
+	}
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpLd, Type: t, Seg: hsail.SegKernarg, Dst: dst.Op,
+		Addr: hsail.MemAddr{Base: hsail.ArgSym(arg)}})
+	return dst
+}
+
+// Load emits ld_<seg> dst, [base+off].
+func (b *Builder) Load(seg hsail.Segment, t isa.DataType, base Val, off int32) Val {
+	dst := b.Reg(t)
+	b.LoadTo(dst, seg, base, off)
+	return dst
+}
+
+// LoadTo emits ld_<seg> into an existing register.
+func (b *Builder) LoadTo(dst Val, seg hsail.Segment, base Val, off int32) {
+	b.emit(hsail.Inst{Op: hsail.OpLd, Type: dst.T, Seg: seg, Dst: dst.Op,
+		Addr: hsail.MemAddr{Base: base.Op, Offset: off}})
+}
+
+// Store emits st_<seg> src, [base+off].
+func (b *Builder) Store(seg hsail.Segment, src, base Val, off int32) {
+	b.emit(hsail.Inst{Op: hsail.OpSt, Type: src.T, Seg: seg,
+		Srcs: [3]hsail.Operand{src.Op}, NSrc: 1,
+		Addr: hsail.MemAddr{Base: base.Op, Offset: off}})
+}
+
+// AtomicAdd emits dst = atomic fetch-add on [base+off].
+func (b *Builder) AtomicAdd(seg hsail.Segment, t isa.DataType, src, base Val, off int32) Val {
+	dst := b.Reg(t)
+	b.emit(hsail.Inst{Op: hsail.OpAtomicAdd, Type: t, Seg: seg, Dst: dst.Op,
+		Srcs: [3]hsail.Operand{src.Op}, NSrc: 1,
+		Addr: hsail.MemAddr{Base: base.Op, Offset: off}})
+	return dst
+}
+
+// Lda emits dst = address of [base+off] within seg (materializes a flat
+// address from a segment-relative one).
+func (b *Builder) Lda(seg hsail.Segment, base Val, off int32) Val {
+	dst := b.Reg(isa.TypeU64)
+	b.emit(hsail.Inst{Op: hsail.OpLda, Type: isa.TypeU64, Seg: seg, Dst: dst.Op,
+		Addr: hsail.MemAddr{Base: base.Op, Offset: off}})
+	return dst
+}
+
+// NoBase is the zero Val, used for memory operations with no register base.
+var NoBase = Val{}
+
+// Br emits an unconditional branch to blk.
+func (b *Builder) Br(blk BlockRef) {
+	b.emit(hsail.Inst{Op: hsail.OpBr, Target: int32(blk.id)})
+}
+
+// CBr emits a conditional branch to blk if control register c is set;
+// execution falls through to the next block otherwise.
+func (b *Builder) CBr(c Val, blk BlockRef) {
+	if c.Op.Kind != hsail.OperCReg {
+		b.fail("CBr: condition is not a control register")
+		return
+	}
+	b.emit(hsail.Inst{Op: hsail.OpCBr, Srcs: [3]hsail.Operand{c.Op}, NSrc: 1, Target: int32(blk.id)})
+}
+
+// Ret emits the end-of-kernel instruction.
+func (b *Builder) Ret() { b.emit(hsail.Inst{Op: hsail.OpRet}) }
+
+// Barrier emits a workgroup barrier.
+func (b *Builder) Barrier() { b.emit(hsail.Inst{Op: hsail.OpBarrier}) }
+
+// Geometry queries.
+
+// WorkItemAbsID emits dst = absolute (global) work-item ID in dim.
+func (b *Builder) WorkItemAbsID(dim isa.Dim) Val { return b.geometry(hsail.OpWorkItemAbsId, dim) }
+
+// WorkItemID emits dst = work-item ID within the workgroup in dim.
+func (b *Builder) WorkItemID(dim isa.Dim) Val { return b.geometry(hsail.OpWorkItemId, dim) }
+
+// WorkGroupID emits dst = workgroup ID in dim.
+func (b *Builder) WorkGroupID(dim isa.Dim) Val { return b.geometry(hsail.OpWorkGroupId, dim) }
+
+// WorkGroupSize emits dst = workgroup size in dim.
+func (b *Builder) WorkGroupSize(dim isa.Dim) Val { return b.geometry(hsail.OpWorkGroupSize, dim) }
+
+// GridSize emits dst = grid size in dim.
+func (b *Builder) GridSize(dim isa.Dim) Val { return b.geometry(hsail.OpGridSize, dim) }
+
+func (b *Builder) geometry(op hsail.Op, dim isa.Dim) Val {
+	dst := b.Reg(isa.TypeU32)
+	b.emit(hsail.Inst{Op: op, Type: isa.TypeU32, Dim: dim, Dst: dst.Op})
+	return dst
+}
+
+// Finish validates the constructed kernel, register-allocates it onto a
+// compact register file (the HLC's job — HSAIL ships register-allocated),
+// and returns it.
+func (b *Builder) Finish() (*hsail.Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.k.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := AnalyzeCFG(b.k); err != nil {
+		return nil, err
+	}
+	if err := AllocateRegisters(b.k); err != nil {
+		return nil, err
+	}
+	return b.k, nil
+}
+
+// FinishRaw validates and returns the kernel WITHOUT register allocation,
+// leaving the builder's SSA-like virtual registers in place. It exists for
+// testing (the unallocated kernel is the semantic reference the allocator is
+// checked against) and for the register-allocation ablation study.
+func (b *Builder) FinishRaw() (*hsail.Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.k.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := AnalyzeCFG(b.k); err != nil {
+		return nil, err
+	}
+	return b.k, nil
+}
+
+// MustFinish is Finish for statically known-good kernels (workload suite).
+func (b *Builder) MustFinish() *hsail.Kernel {
+	k, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

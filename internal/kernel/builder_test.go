@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"testing"
+
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+)
+
+func TestBuilderErrorPaths(t *testing.T) {
+	// Bad argument size.
+	b := NewBuilder("bad_arg")
+	b.Arg("x", 3)
+	b.Ret()
+	if _, err := b.Finish(); err == nil {
+		t.Error("3-byte argument accepted")
+	}
+	// CBr on a non-control register.
+	b2 := NewBuilder("bad_cbr")
+	v := b2.Mov(isa.TypeU32, b2.Int(isa.TypeU32, 1))
+	b2.CBr(v, BlockRef{})
+	b2.Ret()
+	if _, err := b2.Finish(); err == nil {
+		t.Error("cbr on a data register accepted")
+	}
+	// LoadArg out of range.
+	b3 := NewBuilder("bad_loadarg")
+	b3.LoadArg(2)
+	b3.Ret()
+	if _, err := b3.Finish(); err == nil {
+		t.Error("out-of-range LoadArg accepted")
+	}
+	// MovTo into a non-register.
+	b4 := NewBuilder("bad_movto")
+	b4.MovTo(b4.Int(isa.TypeU32, 1), b4.Int(isa.TypeU32, 2))
+	b4.Ret()
+	if _, err := b4.Finish(); err == nil {
+		t.Error("MovTo into an immediate accepted")
+	}
+}
+
+func TestBuilderArgLayout(t *testing.T) {
+	b := NewBuilder("args")
+	a0 := b.ArgU32("n") // offset 0, size 4
+	a1 := b.ArgPtr("p") // aligns to 8
+	a2 := b.ArgU32("m") // offset 16
+	a3 := b.ArgPtr("q") // aligns to 24
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOffsets := []int{0, 8, 16, 24}
+	for i, want := range wantOffsets {
+		if k.Args[i].Offset != want {
+			t.Errorf("arg %d offset %d, want %d", i, k.Args[i].Offset, want)
+		}
+	}
+	if k.KernargSize != 32 {
+		t.Errorf("kernarg size %d, want 32", k.KernargSize)
+	}
+	_, _, _, _ = a0, a1, a2, a3
+}
+
+func TestBuilderEmitsStructuredShapes(t *testing.T) {
+	// Every structured helper must produce a shape-classifiable CFG even
+	// when deeply nested.
+	b := NewBuilder("nested_deep")
+	x := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	b.IfCmp(isa.CmpLt, isa.TypeU32, x, b.Int(isa.TypeU32, 5), func() {
+		b.DoWhile(func() {
+			b.IfCmp(isa.CmpEq, isa.TypeU32, x, b.Int(isa.TypeU32, 2), func() {
+				b.MovTo(x, b.Int(isa.TypeU32, 7))
+			}, func() {
+				b.BinaryTo(hsail.OpAdd, x, x, b.Int(isa.TypeU32, 1))
+			})
+		}, isa.CmpLt, isa.TypeU32, x, b.Int(isa.TypeU32, 5))
+	}, func() {
+		b.MovTo(x, b.Int(isa.TypeU32, 9))
+	})
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := AnalyzeCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[ShapeKind]int{}
+	for _, sh := range cfg.Shapes {
+		kinds[sh.Kind]++
+	}
+	if kinds[ShapeIfThenElse] != 2 || kinds[ShapeLoopLatch] != 1 {
+		t.Fatalf("shape census %v, want 2 if-then-else + 1 latch", kinds)
+	}
+	if !cfg.Reducible {
+		t.Fatal("nested structure classified irreducible")
+	}
+}
+
+func TestForHelper(t *testing.T) {
+	b := NewBuilder("for_loop")
+	sum := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	b.For(isa.TypeU32, b.Int(isa.TypeU32, 0), b.Int(isa.TypeU32, 10), b.Int(isa.TypeU32, 1), func(i Val) {
+		b.BinaryTo(hsail.OpAdd, sum, sum, i)
+	})
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := AnalyzeCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latches := 0
+	for _, sh := range cfg.Shapes {
+		if sh.Kind == ShapeLoopLatch {
+			latches++
+		}
+	}
+	if latches != 1 {
+		t.Fatalf("For emitted %d latches, want 1 (rotation)", latches)
+	}
+}
+
+func TestRegisterLimitEnforced(t *testing.T) {
+	b := NewBuilder("too_many_regs")
+	vals := []Val{b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 1))}
+	// 1100 64-bit values = 2200 slots, exceeding the 2048 HSAIL limit,
+	// all simultaneously live at the fold.
+	for i := 0; i < 1100; i++ {
+		vals = append(vals, b.Cvt(isa.TypeU64, vals[0]))
+	}
+	acc := b.Mov(isa.TypeU64, b.Int(isa.TypeU64, 0))
+	for _, v := range vals[1:] {
+		acc = b.Add(isa.TypeU64, acc, v)
+	}
+	b.Ret()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("register demand beyond the 2048-slot HSAIL limit accepted")
+	}
+}

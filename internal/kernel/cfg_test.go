@@ -1,0 +1,253 @@
+package kernel
+
+import (
+	"testing"
+
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+)
+
+// buildDiamond constructs the Figure 3 if-else-if CFG via the structured
+// helpers and returns the kernel.
+func buildDiamond(t *testing.T) *hsail.Kernel {
+	t.Helper()
+	b := NewBuilder("diamond")
+	x := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 5))
+	res := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	b.IfCmp(isa.CmpLt, isa.TypeU32, x, b.Int(isa.TypeU32, 10), func() {
+		b.MovTo(res, b.Int(isa.TypeU32, 84))
+	}, func() {
+		b.MovTo(res, b.Int(isa.TypeU32, 90))
+	})
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCFGIfThenElseShape(t *testing.T) {
+	k := buildDiamond(t)
+	cfg, err := AnalyzeCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Reducible {
+		t.Fatal("diamond classified irreducible")
+	}
+	var shape *Shape
+	for _, sh := range cfg.Shapes {
+		sh := sh
+		shape = &sh
+	}
+	if shape == nil || shape.Kind != ShapeIfThenElse {
+		t.Fatalf("shape = %+v, want if-then-else", shape)
+	}
+	// Reconvergence point: the branch block's immediate post-dominator is
+	// the join.
+	if cfg.IPDom[shape.Branch] != shape.Join {
+		t.Fatalf("IPDom[%d] = %d, want join %d", shape.Branch, cfg.IPDom[shape.Branch], shape.Join)
+	}
+}
+
+func TestCFGIfThenShape(t *testing.T) {
+	b := NewBuilder("ifthen")
+	x := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 5))
+	b.IfCmp(isa.CmpLt, isa.TypeU32, x, b.Int(isa.TypeU32, 10), func() {
+		b.MovTo(x, b.Int(isa.TypeU32, 1))
+	}, nil)
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := AnalyzeCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range cfg.Shapes {
+		if sh.Kind != ShapeIfThen {
+			t.Fatalf("shape %v, want if-then", sh.Kind)
+		}
+		if sh.Join != int(lastInstOf(k, sh.Branch).Target) {
+			t.Fatalf("join %d != branch target %d", sh.Join, lastInstOf(k, sh.Branch).Target)
+		}
+	}
+}
+
+func lastInstOf(k *hsail.Kernel, block int) *hsail.Inst {
+	b := k.Blocks[block]
+	return &b.Insts[len(b.Insts)-1]
+}
+
+func TestCFGLoopShape(t *testing.T) {
+	b := NewBuilder("loop")
+	i := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	b.DoWhile(func() {
+		b.BinaryTo(hsail.OpAdd, i, i, b.Int(isa.TypeU32, 1))
+	}, isa.CmpLt, isa.TypeU32, i, b.Int(isa.TypeU32, 10))
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := AnalyzeCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for bi, sh := range cfg.Shapes {
+		if sh.Kind == ShapeLoopLatch {
+			found = true
+			if !cfg.BackEdge[bi] {
+				t.Error("latch not marked as back edge")
+			}
+			if sh.Header > bi {
+				t.Error("header after latch")
+			}
+			if cfg.IPDom[bi] != sh.Join {
+				t.Errorf("latch IPDom %d != join %d", cfg.IPDom[bi], sh.Join)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no loop latch shape found")
+	}
+}
+
+func TestCFGRejectsMalformed(t *testing.T) {
+	// Conditional branch not at block end.
+	k := &hsail.Kernel{Name: "bad", NumRegSlots: 2, NumCRegs: 1}
+	k.Blocks = []*hsail.Block{
+		{ID: 0, Insts: []hsail.Inst{
+			{Op: hsail.OpCBr, Srcs: [3]hsail.Operand{hsail.CReg(0)}, NSrc: 1, Target: 1},
+			{Op: hsail.OpNop},
+		}},
+		{ID: 1, Insts: []hsail.Inst{{Op: hsail.OpRet}}},
+	}
+	if _, err := AnalyzeCFG(k); err == nil {
+		t.Fatal("mid-block branch accepted")
+	}
+	// Final block without ret.
+	k2 := &hsail.Kernel{Name: "bad2", NumRegSlots: 1}
+	k2.Blocks = []*hsail.Block{{ID: 0, Insts: []hsail.Inst{{Op: hsail.OpNop}}}}
+	if _, err := AnalyzeCFG(k2); err == nil {
+		t.Fatal("fall-off-the-end accepted")
+	}
+	// Unreachable block.
+	k3 := &hsail.Kernel{Name: "bad3", NumRegSlots: 1}
+	k3.Blocks = []*hsail.Block{
+		{ID: 0, Insts: []hsail.Inst{{Op: hsail.OpRet}}},
+		{ID: 1, Insts: []hsail.Inst{{Op: hsail.OpRet}}},
+	}
+	if _, err := AnalyzeCFG(k3); err == nil {
+		t.Fatal("unreachable block accepted")
+	}
+}
+
+func TestDominatorsOnNestedStructure(t *testing.T) {
+	// while (c1) { if (c2) {...} } — nested shapes.
+	b := NewBuilder("nested")
+	i := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	x := b.Mov(isa.TypeU32, b.Int(isa.TypeU32, 0))
+	b.WhileCmp(isa.CmpLt, isa.TypeU32, i, b.Int(isa.TypeU32, 4), func() {
+		b.IfCmp(isa.CmpEq, isa.TypeU32, x, b.Int(isa.TypeU32, 0), func() {
+			b.MovTo(x, b.Int(isa.TypeU32, 1))
+		}, nil)
+		b.BinaryTo(hsail.OpAdd, i, i, b.Int(isa.TypeU32, 1))
+	})
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := AnalyzeCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry dominates everything.
+	for bi := range k.Blocks {
+		if !cfg.dominates(0, bi) {
+			t.Errorf("entry does not dominate BB%d", bi)
+		}
+	}
+	// IDom of entry is -1; all others have a dominator.
+	if cfg.IDom[0] != -1 {
+		t.Error("entry has an IDom")
+	}
+	for bi := 1; bi < len(k.Blocks); bi++ {
+		if cfg.IDom[bi] < 0 {
+			t.Errorf("BB%d has no IDom", bi)
+		}
+	}
+	kinds := map[ShapeKind]int{}
+	for _, sh := range cfg.Shapes {
+		kinds[sh.Kind]++
+	}
+	if kinds[ShapeLoopLatch] != 1 || kinds[ShapeIfThen] < 2 {
+		t.Fatalf("shape census %v: want 1 latch and >=2 if-thens (guard + body)", kinds)
+	}
+}
+
+func TestUniformityAnalysis(t *testing.T) {
+	b := NewBuilder("uniformity")
+	n := b.ArgU32("n")
+	nv := b.LoadArg(n)                                 // kernarg: uniform
+	gid := b.WorkItemAbsID(isa.DimX)                   // divergent
+	u := b.Add(isa.TypeU32, nv, b.Int(isa.TypeU32, 4)) // uniform + const: uniform
+	d := b.Add(isa.TypeU32, gid, nv)                   // mixes divergent: divergent
+	fsum := b.Cvt(isa.TypeF32, nv)                     // float: never scalar-homed
+	_ = fsum
+	b.IfCmp(isa.CmpLt, isa.TypeU32, gid, nv, func() {
+		// Defined under divergent control: divergent even though the
+		// operands are uniform.
+		dd := b.Add(isa.TypeU32, nv, b.Int(isa.TypeU32, 1))
+		_ = dd
+	}, nil)
+	_, _ = u, d
+	b.Ret()
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := AnalyzeCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := AnalyzeUniformity(k, cfg)
+	// Spot-check by scanning definitions.
+	for _, blk := range k.Blocks {
+		for ii := range blk.Insts {
+			in := &blk.Insts[ii]
+			if in.Dst.Kind != hsail.OperReg {
+				continue
+			}
+			got := uni.Slots[in.Dst.Reg]
+			switch in.Op {
+			case hsail.OpLd: // kernarg
+				if !got {
+					t.Errorf("kernarg load not uniform")
+				}
+			case hsail.OpWorkItemAbsId:
+				if got {
+					t.Errorf("work-item ID marked uniform")
+				}
+			case hsail.OpCvt: // float cvt
+				if got {
+					t.Errorf("float conversion marked scalar-homed")
+				}
+			}
+		}
+	}
+	// The divergent-block definition must be demoted.
+	divBlockUniform := false
+	for bi, ok := range uni.Blocks {
+		if !ok && len(k.Blocks[bi].Insts) > 0 {
+			divBlockUniform = true
+		}
+	}
+	if !divBlockUniform {
+		t.Error("no block was demoted despite a divergent branch")
+	}
+}

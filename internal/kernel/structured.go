@@ -1,0 +1,124 @@
+package kernel
+
+import (
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+)
+
+// Structured control-flow helpers. These emit exactly the block shapes that
+// CFG.classifyShapes recognizes, mirroring how a high-level compiler emits
+// structured source: if-then, if-then-else, and rotated (guarded do-while)
+// loops. Hand-written CFGs may use Block/Br/CBr directly as long as they
+// match the same shapes.
+
+// negate returns the complementary comparison.
+func negate(op isa.CmpOp) isa.CmpOp {
+	switch op {
+	case isa.CmpEq:
+		return isa.CmpNe
+	case isa.CmpNe:
+		return isa.CmpEq
+	case isa.CmpLt:
+		return isa.CmpGe
+	case isa.CmpGe:
+		return isa.CmpLt
+	case isa.CmpLe:
+		return isa.CmpGt
+	case isa.CmpGt:
+		return isa.CmpLe
+	}
+	return op
+}
+
+// patchRef remembers a branch instruction for later target patching.
+type patchRef struct {
+	block int
+	inst  int
+}
+
+func (b *Builder) lastInstRef() patchRef {
+	return patchRef{block: b.cur.ID, inst: len(b.cur.Insts) - 1}
+}
+
+func (b *Builder) patchTarget(r patchRef, target BlockRef) {
+	b.k.Blocks[r.block].Insts[r.inst].Target = int32(target.id)
+}
+
+// IfCmp emits `if (s0 op s1) { then() } else { els() }` using the structured
+// shape the finalizer if-converts. els may be nil.
+//
+// The emitted HSAIL follows compiler convention: the guard compares with the
+// NEGATED condition and branches over the then-region when it holds.
+func (b *Builder) IfCmp(op isa.CmpOp, t isa.DataType, s0, s1 Val, then func(), els func()) {
+	skip := b.Cmp(negate(op), t, s0, s1)
+	b.If(skip, then, els)
+}
+
+// If emits a structured conditional from an already-computed SKIP condition:
+// lanes where skipCond is true bypass then() (and run els(), if provided).
+func (b *Builder) If(skipCond Val, then func(), els func()) {
+	b.CBr(skipCond, BlockRef{id: -1}) // target patched below
+	guard := b.lastInstRef()
+
+	thenBlk := b.Block()
+	b.StartBlock(thenBlk)
+	then()
+
+	if els == nil {
+		join := b.Block()
+		b.patchTarget(guard, join)
+		b.StartBlock(join)
+		return
+	}
+
+	b.Br(BlockRef{id: -1}) // jump over the else-region; patched below
+	thenExit := b.lastInstRef()
+
+	elseBlk := b.Block()
+	b.patchTarget(guard, elseBlk)
+	b.StartBlock(elseBlk)
+	els()
+
+	join := b.Block()
+	b.patchTarget(thenExit, join)
+	b.StartBlock(join)
+}
+
+// DoWhileCmp emits `do { body() } while (s0() op s1())`. The operand
+// callbacks are evaluated at the latch each iteration so loop-carried
+// registers are re-read.
+func (b *Builder) DoWhileCmp(body func(), op isa.CmpOp, t isa.DataType, s0, s1 func() Val) {
+	header := b.Block()
+	b.StartBlock(header)
+	body()
+	c := b.Cmp(op, t, s0(), s1())
+	b.CBr(c, header)
+	join := b.Block()
+	b.StartBlock(join)
+}
+
+// DoWhile emits `do { body() } while (s0 op s1)` for loop-carried register
+// operands that body updates in place.
+func (b *Builder) DoWhile(body func(), op isa.CmpOp, t isa.DataType, s0, s1 Val) {
+	b.DoWhileCmp(body, op, t, func() Val { return s0 }, func() Val { return s1 })
+}
+
+// WhileCmp emits `while (s0 op s1) { body() }` using loop rotation — the form
+// real GPU compilers emit: a guard conditional wrapping a do-while. Rotation
+// keeps every backward branch a do-while latch, the only loop shape the
+// finalizer needs to predicate.
+func (b *Builder) WhileCmp(op isa.CmpOp, t isa.DataType, s0, s1 Val, body func()) {
+	b.IfCmp(op, t, s0, s1, func() {
+		b.DoWhile(body, op, t, s0, s1)
+	}, nil)
+}
+
+// For emits a canonical counted loop: `for (i = start; i < end; i += step)`,
+// passing the induction register to body. i, start, end, step share type t.
+func (b *Builder) For(t isa.DataType, start, end, step Val, body func(i Val)) {
+	i := b.Mov(t, start)
+	b.WhileCmp(isa.CmpLt, t, i, end, func() {
+		body(i)
+		b.BinaryTo(hsail.OpAdd, i, i, step)
+	})
+}

@@ -1,0 +1,224 @@
+package mem
+
+import "fmt"
+
+// Level is a stage of the memory hierarchy that can service a line access.
+// Access returns the cycle at which the requested line is available. now is
+// the cycle the request arrives. Implementations update their own occupancy
+// so that back-to-back requests queue realistically.
+type Level interface {
+	Access(addr uint64, write bool, now int64) (done int64)
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// LatencySum accumulates total access latency for mean-latency stats.
+	LatencySum uint64
+}
+
+// MissRate returns misses/accesses.
+func (s *CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MeanLatency returns the average access latency in cycles.
+func (s *CacheStats) MeanLatency() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	lastUsed int64
+}
+
+// Cache is a set-associative, LRU cache timing model. Policies follow
+// Table 4: write-through (no write-allocate) or write-back (write-allocate).
+type Cache struct {
+	Name       string
+	Stats      CacheStats
+	sets       int
+	ways       int
+	lineBits   uint
+	hitLatency int64
+	writeBack  bool
+	lines      [][]cacheLine
+	lower      Level
+	// nextFree models the cache's single request port.
+	nextFree int64
+	// throughput is the port occupancy per request in cycles.
+	throughput int64
+}
+
+// NewCache builds a cache model. sizeBytes/lineSize/ways determine geometry;
+// ways <= 0 means fully associative.
+func NewCache(name string, sizeBytes, lineSize, ways int, hitLatency int64, writeBack bool, lower Level) *Cache {
+	numLines := sizeBytes / lineSize
+	if ways <= 0 || ways > numLines {
+		ways = numLines // fully associative
+	}
+	sets := numLines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineSize {
+		lineBits++
+	}
+	c := &Cache{
+		Name: name, sets: sets, ways: ways, lineBits: lineBits,
+		hitLatency: hitLatency, writeBack: writeBack, lower: lower,
+		throughput: 1,
+	}
+	c.lines = make([][]cacheLine, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]cacheLine, ways)
+	}
+	return c
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		for j := range c.lines[i] {
+			c.lines[i][j] = cacheLine{}
+		}
+	}
+	c.Stats = CacheStats{}
+	c.nextFree = 0
+}
+
+func (c *Cache) setAndTag(addr uint64) (int, uint64) {
+	line := addr >> c.lineBits
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// Access services a line request and returns its completion cycle.
+func (c *Cache) Access(addr uint64, write bool, now int64) int64 {
+	c.Stats.Accesses++
+	// Port occupancy: requests serialize through the cache port.
+	start := now
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	c.nextFree = start + c.throughput
+
+	setIdx, tag := c.setAndTag(addr)
+	set := c.lines[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.Stats.Hits++
+			set[i].lastUsed = start
+			if write {
+				if c.writeBack {
+					set[i].dirty = true
+					done := start + c.hitLatency
+					c.Stats.LatencySum += uint64(done - now)
+					return done
+				}
+				// Write-through: forward the write but do not stall
+				// the core on the lower level (posted write).
+				if c.lower != nil {
+					c.lower.Access(addr, true, start+c.hitLatency)
+				}
+			}
+			done := start + c.hitLatency
+			c.Stats.LatencySum += uint64(done - now)
+			return done
+		}
+	}
+	c.Stats.Misses++
+	if write && !c.writeBack {
+		// Write-through, no-write-allocate: the write goes straight down.
+		done := start + c.hitLatency
+		if c.lower != nil {
+			c.lower.Access(addr, true, start)
+		}
+		c.Stats.LatencySum += uint64(done - now)
+		return done
+	}
+	// Miss: fetch from below and fill.
+	fillDone := start + c.hitLatency
+	if c.lower != nil {
+		fillDone = c.lower.Access(addr, false, start+c.hitLatency)
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUsed < set[victim].lastUsed {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.Stats.Evictions++
+		if set[victim].dirty && c.lower != nil {
+			// Write back the victim; posted, does not extend the fill.
+			victimAddr := (set[victim].tag*uint64(c.sets) + uint64(setIdx)) << c.lineBits
+			c.lower.Access(victimAddr, true, fillDone)
+		}
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: write && c.writeBack, lastUsed: start}
+	c.Stats.LatencySum += uint64(fillDone - now)
+	return fillDone
+}
+
+// String summarizes geometry for reports.
+func (c *Cache) String() string {
+	return fmt.Sprintf("%s: %d sets x %d ways x %dB", c.Name, c.sets, c.ways, 1<<c.lineBits)
+}
+
+// DRAM models a channeled memory: each channel is a resource with a fixed
+// access latency and per-request occupancy (burst time), so bandwidth is
+// bounded and contention queues requests (Table 4: DDR3, 32 channels).
+type DRAM struct {
+	Latency   int64
+	Occupancy int64
+	nextFree  []int64
+	Stats     CacheStats
+}
+
+// NewDRAM builds the DRAM model.
+func NewDRAM(channels int, latency, occupancy int64) *DRAM {
+	return &DRAM{Latency: latency, Occupancy: occupancy, nextFree: make([]int64, channels)}
+}
+
+// Reset clears channel state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.nextFree {
+		d.nextFree[i] = 0
+	}
+	d.Stats = CacheStats{}
+}
+
+// Access services a line request on its address-interleaved channel.
+func (d *DRAM) Access(addr uint64, write bool, now int64) int64 {
+	d.Stats.Accesses++
+	ch := int(addr >> 6 % uint64(len(d.nextFree)))
+	start := now
+	if d.nextFree[ch] > start {
+		start = d.nextFree[ch]
+	}
+	d.nextFree[ch] = start + d.Occupancy
+	done := start + d.Latency
+	if write {
+		// Writes occupy the channel but complete immediately for the
+		// requester (posted).
+		done = start
+	}
+	d.Stats.LatencySum += uint64(done - now)
+	return done
+}

@@ -1,0 +1,26 @@
+package mem
+
+import "ilsim/internal/isa"
+
+// Coalesce merges the per-lane addresses of one wavefront memory instruction
+// into the set of distinct cache-line requests, the function the CU's
+// coalescing logic performs (Figure 2). The returned slice preserves
+// first-touch order, which keeps timing deterministic.
+func Coalesce(addrs *[isa.WavefrontSize]uint64, accessBytes int, active isa.ExecMask) []uint64 {
+	var lines []uint64
+	seen := make(map[uint64]struct{}, 8)
+	for lane := 0; lane < isa.WavefrontSize; lane++ {
+		if !active.Bit(lane) {
+			continue
+		}
+		first := addrs[lane] &^ (LineSize - 1)
+		last := (addrs[lane] + uint64(accessBytes) - 1) &^ (LineSize - 1)
+		for l := first; l <= last; l += LineSize {
+			if _, ok := seen[l]; !ok {
+				seen[l] = struct{}{}
+				lines = append(lines, l)
+			}
+		}
+	}
+	return lines
+}

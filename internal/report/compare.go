@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+
+	"ilsim/internal/stats"
+)
+
+// PaperComparison renders the headline paper-vs-measured table: for every
+// quantitative claim in the paper's abstract and evaluation, the value this
+// reproduction measures, with the deviations discussed.
+func (r *Results) PaperComparison() string {
+	gm := func(metric func(*stats.Run) float64) float64 {
+		return stats.Geomean(r.ratios(metric))
+	}
+	insts := gm(func(s *stats.Run) float64 { return float64(s.TotalInsts()) })
+	reuse := gm(func(s *stats.Run) float64 { return float64(s.Reuse.Median()) })
+	foot := gm(func(s *stats.Run) float64 { return float64(s.CodeFootprintBytes) })
+	util := gm(func(s *stats.Run) float64 { return s.SIMDUtilization() })
+
+	var conflictRatios, flushRatios []float64
+	for _, name := range r.Order {
+		p := r.Runs[name]
+		if g := p.GCN3.ConflictsPerKiloInst(); g > 0 {
+			conflictRatios = append(conflictRatios, p.HSAIL.ConflictsPerKiloInst()/g)
+		}
+		h := float64(p.HSAIL.IBFlushes) / float64(p.HSAIL.TotalInsts())
+		g := float64(p.GCN3.IBFlushes) / float64(p.GCN3.TotalInsts())
+		if g > 0 {
+			flushRatios = append(flushRatios, h/g)
+		}
+	}
+	conflicts := stats.Geomean(conflictRatios)
+	flushes := stats.Geomean(flushRatios)
+
+	// Runtime extremes (Fig 12's featured pair).
+	var slowHSAIL, slowGCN3 float64 = 1, 1
+	var slowHSAILName, slowGCN3Name string
+	for _, name := range r.Order {
+		p := r.Runs[name]
+		hg := float64(p.HSAIL.Cycles) / float64(p.GCN3.Cycles)
+		if hg > slowHSAIL {
+			slowHSAIL, slowHSAILName = hg, name
+		}
+		if 1/hg > slowGCN3 {
+			slowGCN3, slowGCN3Name = 1/hg, name
+		}
+	}
+
+	// Hardware-correlation summary.
+	var hs, gs, hw []float64
+	for _, name := range r.Order {
+		p := r.Runs[name]
+		w := r.HW[name]
+		for i := 0; i < len(w) && i < len(p.HSAIL.KernelCycles); i++ {
+			hs = append(hs, float64(p.HSAIL.KernelCycles[i]))
+			gs = append(gs, float64(p.GCN3.KernelCycles[i]))
+			hw = append(hw, w[i])
+		}
+	}
+
+	t := &table{}
+	t.title("Paper vs measured — every headline claim")
+	t.row("Claim (paper §)", "Paper", "Measured", "Notes")
+	t.sep(4)
+	t.row("Dynamic instructions, GCN3/HSAIL (abstract, Fig 5)", "≈2× (1.5-3×)", f2(insts)+"×",
+		"per-workload spread in Fig 5 below")
+	t.row("VRF bank conflicts, HSAIL/GCN3 (abstract, Fig 6)", "≈3×", f2(conflicts)+"×",
+		"direction and first-order magnitude hold; our operand-collector model is coarser than gem5's")
+	t.row("Median register reuse distance, GCN3/HSAIL (Fig 7)", "≈2×", f2(reuse)+"×", "")
+	t.row("Instruction footprint, GCN3/HSAIL (Fig 8)", "≈2.4×", f2(foot)+"×",
+		"our finalizer emits a higher share of 32-bit encodings than AMD's production codegen; LULESH still breaks the 16KB L1I (see Fig 8)")
+	t.row("IB flushes, HSAIL/GCN3 (Fig 9)", ">2×", f2(flushes)+"×", "")
+	t.row("SIMD utilization, GCN3/HSAIL (Table 6)", "≈1.0 (within a few %)", f2(util), "")
+	t.row("Runtime: worst HSAIL-pessimistic workload (Fig 12)", "ArrayBW 1.6×",
+		fmt.Sprintf("%s %.2f×", slowHSAILName, slowHSAIL), "which workload tops the list depends on contention details")
+	t.row("Runtime: worst HSAIL-optimistic workload (Fig 12)", "LULESH 1.85× (GCN3 slower)",
+		fmt.Sprintf("%s %.2f×", slowGCN3Name, slowGCN3), "driven by the L1I-thrashing + kernarg-register mechanisms the paper describes")
+	if len(hw) > 0 {
+		t.row("HW correlation (Table 7)", "0.972 / 0.973",
+			fmt.Sprintf("%.3f / %.3f", stats.Pearson(hs, hw), stats.Pearson(gs, hw)),
+			"vs the silicon oracle (see internal/hwmodel for the substitution)")
+		t.row("HW absolute error, HSAIL vs GCN3 (Table 7)", "75% vs 42%",
+			fmt.Sprintf("%s vs %s", pct(stats.MeanAbsError(hs, hw)), pct(stats.MeanAbsError(gs, hw))),
+			"the IL adds substantial, erratic error on top of modeling error")
+	}
+	t.note("")
+	return t.String()
+}

@@ -1,0 +1,420 @@
+package timing
+
+import (
+	"sort"
+
+	"ilsim/internal/emu"
+	"ilsim/internal/isa"
+	"ilsim/internal/mem"
+)
+
+// waveCtx is a wavefront's timing state in a CU wavefront slot.
+type waveCtx struct {
+	w    *emu.Wave
+	eng  emu.Engine
+	wg   *wgRun
+	seq  int64 // dispatch age for oldest-job-first scheduling
+	simd int
+	// regBase is the wave's physical base register in the CU's VRF:
+	// architectural slot s of this wave lives in bank (regBase+s)%banks.
+	regBase int
+
+	// Instruction buffer: bytes buffered ahead of the wave's PC.
+	ibBytes      int
+	fetchBusy    bool
+	fetchDone    int64
+	fetchBytes   int
+	fetchEpoch   int // increments on flush; cancels in-flight fetches
+	fetchInEpoch int
+
+	// Decoded next instruction (lazily cached).
+	info   emu.InstInfo
+	infoOK bool
+
+	// HSAIL hardware scoreboard: per-register-slot result-ready cycle.
+	vregReady []int64
+
+	// GCN3 software dependency state: completion cycles of outstanding
+	// memory operations (vmcnt is in-order, lgkmcnt may be unordered).
+	vmemDone []int64
+	lgkmDone []int64
+
+	nextIssue int64
+	barrier   bool
+	done      bool
+}
+
+// outstanding returns how many completion cycles are still in the future,
+// compacting the slice.
+func outstanding(list *[]int64, now int64) int {
+	l := *list
+	keep := l[:0]
+	for _, c := range l {
+		if c > now {
+			keep = append(keep, c)
+		}
+	}
+	*list = keep
+	return len(keep)
+}
+
+// wgRun tracks one workgroup resident on a CU.
+type wgRun struct {
+	wg        *emu.WGState
+	waves     []*waveCtx
+	remaining int
+}
+
+// cu is one compute unit.
+type cu struct {
+	g  *GPU
+	id int
+
+	l1d *mem.Cache
+	l1i *mem.Cache
+	sl1 *mem.Cache
+
+	waves     []*waveCtx
+	usedSlots int
+	seq       int64
+	// vrfCursor assigns physical VRF regions to incoming waves.
+	vrfCursor int
+
+	simdBusy   []int64
+	scalarBusy int64
+	vmemBusy   int64
+	ldsBusy    int64
+
+	// bankFree models each VRF bank as a single-ported resource: the
+	// cycle at which the bank can accept its next operand access. The
+	// operand collector queues accesses, so contention accumulates across
+	// cycles rather than resetting every cycle.
+	bankFree []int64
+}
+
+func newCU(g *GPU, id int) *cu {
+	return &cu{
+		g: g, id: id,
+		simdBusy: make([]int64, g.P.SIMDsPerCU),
+		bankFree: make([]int64, g.P.VRFBanks),
+	}
+}
+
+// canPlace reports whether a workgroup fits (slot capacity and occupancy).
+func (c *cu) canPlace(wg *emu.WGState, maxWaves int) bool {
+	cap := maxWaves
+	if c.g.P.WFSlots < cap {
+		cap = c.g.P.WFSlots
+	}
+	return c.usedSlots+wg.Info.NumWaves <= cap
+}
+
+// place creates the workgroup's wavefronts in this CU.
+func (c *cu) place(wg *emu.WGState, eng emu.Engine) {
+	run := &wgRun{wg: wg, remaining: wg.Info.NumWaves}
+	vregs, _ := eng.RegDemand()
+	if vregs < 1 {
+		vregs = 1
+	}
+	for i := 0; i < wg.Info.NumWaves; i++ {
+		w := eng.NewWave(wg, i)
+		ctx := &waveCtx{
+			w: w, eng: eng, wg: run,
+			seq:     c.seq,
+			simd:    c.usedSlots % c.g.P.SIMDsPerCU,
+			regBase: c.vrfCursor,
+		}
+		c.vrfCursor = (c.vrfCursor + vregs) % c.g.P.VRFRegsPerCU
+		c.seq++
+		if eng.Abstraction() == "HSAIL" {
+			nSlots, _ := eng.RegDemand()
+			ctx.vregReady = make([]int64, nSlots)
+		}
+		c.waves = append(c.waves, ctx)
+		run.waves = append(run.waves, ctx)
+		c.usedSlots++
+	}
+}
+
+// tick advances the CU one cycle; it returns how many workgroups finished.
+func (c *cu) tick(now int64) (int, error) {
+	if len(c.waves) == 0 {
+		return 0, nil
+	}
+	c.fetchStage(now)
+	finished, err := c.issueStage(now)
+	if err != nil {
+		return 0, err
+	}
+	return finished, nil
+}
+
+// fetchStage completes and starts instruction-buffer fills.
+func (c *cu) fetchStage(now int64) {
+	for _, wv := range c.waves {
+		if wv.fetchBusy && now >= wv.fetchDone {
+			wv.fetchBusy = false
+			if wv.fetchInEpoch == wv.fetchEpoch {
+				wv.ibBytes += wv.fetchBytes
+			}
+		}
+	}
+	started := 0
+	for _, wv := range c.waves {
+		if started >= c.g.P.FetchWidth {
+			break
+		}
+		if wv.done || wv.fetchBusy || wv.ibBytes >= c.g.P.IBBytes {
+			continue
+		}
+		addr := wv.w.PC + uint64(wv.ibBytes)
+		line := addr &^ (mem.LineSize - 1)
+		bytes := int(line + mem.LineSize - addr)
+		done := c.l1i.Access(line, false, now)
+		wv.fetchBusy = true
+		wv.fetchDone = done
+		wv.fetchBytes = bytes
+		wv.fetchInEpoch = wv.fetchEpoch
+		started++
+	}
+}
+
+// issueStage picks ready wavefronts oldest-first and issues at most one
+// instruction per execution unit.
+func (c *cu) issueStage(now int64) (int, error) {
+	order := make([]*waveCtx, 0, len(c.waves))
+	for _, wv := range c.waves {
+		if !wv.done && !wv.barrier {
+			order = append(order, wv)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+
+	finished := 0
+	run := c.g.Run
+	for _, wv := range order {
+		if now < wv.nextIssue {
+			continue
+		}
+		if !wv.infoOK {
+			info, err := wv.eng.Peek(wv.w)
+			if err != nil {
+				return finished, err
+			}
+			wv.info = info
+			wv.infoOK = true
+		}
+		info := &wv.info
+		if wv.ibBytes < info.SizeBytes {
+			if run != nil {
+				run.FetchStallCycles++
+			}
+			continue
+		}
+		// Dependency checks.
+		if wv.vregReady != nil {
+			if !c.scoreboardReady(wv, info, now) {
+				continue
+			}
+		} else {
+			if info.WaitVM >= 0 && outstanding(&wv.vmemDone, now) > int(info.WaitVM) {
+				continue
+			}
+			if info.WaitLGKM >= 0 && outstanding(&wv.lgkmDone, now) > int(info.WaitLGKM) {
+				continue
+			}
+		}
+		// Execution-unit availability.
+		var busy *int64
+		var occ int64
+		switch info.Category {
+		case isa.CatVALU:
+			busy, occ = &c.simdBusy[wv.simd], c.g.P.SIMDIssueCycles
+		case isa.CatVMem:
+			busy, occ = &c.vmemBusy, c.g.P.VMemIssueCycles
+		case isa.CatLDS:
+			busy, occ = &c.ldsBusy, c.g.P.VMemIssueCycles
+		default: // scalar ALU, scalar memory, branch, waitcnt, misc
+			busy, occ = &c.scalarBusy, c.g.P.ScalarIssueCycles
+		}
+		if *busy > now {
+			continue
+		}
+
+		res, err := wv.eng.Execute(wv.w)
+		if err != nil {
+			return finished, err
+		}
+		*busy = now + occ
+		wv.nextIssue = now + 1
+		wv.ibBytes -= info.SizeBytes
+		wv.infoOK = false
+
+		// VRF operand-collector traffic: each bank accepts one operand
+		// access per cycle; accesses that find their bank booked queue
+		// behind it and stall the issuing unit — the contention the
+		// paper shows HSAIL triples (Fig 6). Backlog carries across
+		// cycles, so sustained operand pressure compounds.
+		conflicts := int64(0)
+		bookBank := func(r uint16) {
+			b := (wv.regBase + int(r)) % len(c.bankFree)
+			if c.bankFree[b] > now {
+				conflicts++
+				c.bankFree[b]++
+			} else {
+				c.bankFree[b] = now + 1
+			}
+		}
+		for _, r := range info.VRFReads.Slice() {
+			bookBank(r)
+		}
+		for _, r := range info.VRFWrites.Slice() {
+			bookBank(r)
+		}
+		if conflicts > 0 {
+			*busy += conflicts
+			if run != nil {
+				run.VRFBankConflicts += uint64(conflicts)
+			}
+		}
+		if run != nil {
+			run.VRFAccesses += uint64(info.VRFReads.N) + uint64(info.VRFWrites.N)
+		}
+
+		c.retire(wv, info, &res, now)
+		if res.IsEndPgm {
+			wv.done = true
+			wv.wg.remaining--
+			if wv.wg.remaining == 0 {
+				c.releaseWG(wv.wg)
+				finished++
+			}
+		}
+	}
+	return finished, nil
+}
+
+// scoreboardReady implements the HSAIL hardware scoreboard: every register
+// the instruction touches must have its pending write complete.
+func (c *cu) scoreboardReady(wv *waveCtx, info *emu.InstInfo, now int64) bool {
+	for _, r := range info.VRFReads.Slice() {
+		if wv.vregReady[r] > now {
+			return false
+		}
+	}
+	for _, r := range info.VRFWrites.Slice() {
+		if wv.vregReady[r] > now {
+			return false
+		}
+	}
+	return true
+}
+
+// retire charges latencies for an issued instruction and updates dependency
+// state, branch redirects and barriers.
+func (c *cu) retire(wv *waveCtx, info *emu.InstInfo, res *emu.ExecResult, now int64) {
+	p := &c.g.P
+	// Completion time of the instruction's result.
+	var ready int64
+	switch {
+	case res.MemKind == emu.MemGlobal:
+		ready = now
+		for _, line := range res.Lines {
+			done := c.l1d.Access(line, res.MemWrite, now)
+			if done > ready {
+				ready = done
+			}
+		}
+	case res.MemKind == emu.MemScalar:
+		ready = now
+		for _, line := range res.Lines {
+			done := c.sl1.Access(line, false, now)
+			if done > ready {
+				ready = done
+			}
+		}
+	case res.MemKind == emu.MemLDS || info.Category == isa.CatLDS:
+		ready = now + p.LDSLatency + int64(res.LDSBankConflicts)
+		if res.LDSBankConflicts > 0 {
+			c.ldsBusy += int64(res.LDSBankConflicts)
+		}
+	default:
+		switch info.LatClass {
+		case emu.LatALU:
+			ready = now + p.ALULatency
+		case emu.LatALU64:
+			ready = now + p.ALU64Latency
+		case emu.LatTrans:
+			ready = now + p.TransLatency
+		case emu.LatScalar:
+			ready = now + p.ScalarLatency
+		case emu.LatBranch:
+			ready = now + p.BranchLatency
+		default:
+			ready = now + 1
+		}
+	}
+
+	if wv.vregReady != nil {
+		// HSAIL scoreboard: destination registers become ready when the
+		// instruction completes.
+		for _, r := range info.VRFWrites.Slice() {
+			wv.vregReady[r] = ready
+		}
+	} else {
+		// GCN3 waitcnt counters.
+		if info.IsVMem {
+			// In-order completion: never earlier than the previous one.
+			if n := len(wv.vmemDone); n > 0 && wv.vmemDone[n-1] > ready {
+				ready = wv.vmemDone[n-1]
+			}
+			wv.vmemDone = append(wv.vmemDone, ready)
+		}
+		if info.IsLGKM {
+			wv.lgkmDone = append(wv.lgkmDone, ready)
+		}
+	}
+
+	if res.Redirected {
+		run := c.g.Run
+		if run != nil {
+			run.Redirects++
+			if wv.ibBytes > 0 || wv.fetchBusy {
+				run.IBFlushes++
+			}
+		}
+		wv.ibBytes = 0
+		wv.fetchEpoch++ // cancel any in-flight fill
+		wv.nextIssue = now + p.BranchLatency
+	}
+
+	if res.IsBarrier {
+		wv.barrier = true
+		c.checkBarrier(wv.wg)
+	}
+}
+
+// checkBarrier releases a workgroup barrier once every unfinished wave has
+// arrived.
+func (c *cu) checkBarrier(run *wgRun) {
+	for _, wv := range run.waves {
+		if !wv.done && !wv.barrier {
+			return
+		}
+	}
+	for _, wv := range run.waves {
+		wv.barrier = false
+	}
+}
+
+// releaseWG frees the workgroup's slots.
+func (c *cu) releaseWG(run *wgRun) {
+	keep := c.waves[:0]
+	for _, wv := range c.waves {
+		if wv.wg != run {
+			keep = append(keep, wv)
+		}
+	}
+	c.waves = keep
+	c.usedSlots -= len(run.waves)
+}

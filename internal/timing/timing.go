@@ -1,0 +1,231 @@
+// Package timing implements the shared compute-unit timing model of the
+// paper's Figure 2 / Table 4: per-CU wavefront slots feeding four 16-lane
+// SIMD engines, one scalar unit, a banked vector register file with an
+// operand-collector conflict model, per-wavefront instruction buffers fed by
+// a shared instruction cache, and local/global memory pipelines into a
+// two-level cache hierarchy with channeled DRAM.
+//
+// One model times BOTH abstractions. The ISA-visible differences live in the
+// engines (package emu) and in two mode-dependent mechanisms the paper calls
+// out explicitly:
+//
+//   - HSAIL needs a hardware scoreboard: issue stalls until every operand
+//     register's pending write has completed, "even though the logic does
+//     not exist in the actual GPU" (§III.B.2).
+//   - GCN3 relies on finalizer-inserted s_waitcnt/s_nop: issue stalls only
+//     at explicit waitcnt bounds, tracked by in-order vmcnt/lgkmcnt counters.
+package timing
+
+import (
+	"fmt"
+
+	"ilsim/internal/emu"
+	"ilsim/internal/hsa"
+	"ilsim/internal/mem"
+	"ilsim/internal/stats"
+)
+
+// Params configures the timing model (core.Config maps onto it).
+type Params struct {
+	NumCUs     int
+	SIMDsPerCU int
+	WFSlots    int
+	VRFBanks   int
+	// IBBytes is the per-wavefront instruction-buffer capacity in bytes.
+	IBBytes int
+	// FetchWidth is the number of wavefront fetch requests a CU may start
+	// per cycle.
+	FetchWidth int
+	// VRFRegsPerCU / SRFRegsPerCU bound occupancy (Table 4: 2048/800).
+	VRFRegsPerCU int
+	SRFRegsPerCU int
+
+	// Execution latencies (cycles from issue to result availability).
+	ALULatency    int64
+	ALU64Latency  int64
+	TransLatency  int64
+	ScalarLatency int64
+	BranchLatency int64
+	LDSLatency    int64
+
+	// Issue occupancies (cycles a unit stays busy per instruction).
+	SIMDIssueCycles   int64
+	VMemIssueCycles   int64
+	ScalarIssueCycles int64
+
+	// LaunchOverhead is the packet-processor cost per dispatch, cycles.
+	LaunchOverhead int64
+
+	// Cache geometry.
+	L1DSize, L1DWays           int
+	L1ISize, L1IWays           int
+	ScalarL1Size, ScalarL1Ways int
+	L2Size, L2Ways             int
+	L1HitLatency               int64
+	L2HitLatency               int64
+	ScalarHitLatency           int64
+	DRAMChannels               int
+	DRAMLatency                int64
+	DRAMOccupancy              int64
+}
+
+// DefaultParams returns the Table 4 machine with this model's latencies.
+func DefaultParams() Params {
+	return Params{
+		NumCUs: 8, SIMDsPerCU: 4, WFSlots: 40, VRFBanks: 16,
+		IBBytes: 64, FetchWidth: 1,
+		VRFRegsPerCU: 2048, SRFRegsPerCU: 800,
+		ALULatency: 8, ALU64Latency: 12, TransLatency: 16,
+		ScalarLatency: 1, BranchLatency: 4, LDSLatency: 8,
+		SIMDIssueCycles: 4, VMemIssueCycles: 4, ScalarIssueCycles: 1,
+		LaunchOverhead: 1500,
+		L1DSize:        16 << 10, L1DWays: 0,
+		L1ISize: 16 << 10, L1IWays: 8,
+		ScalarL1Size: 32 << 10, ScalarL1Ways: 8,
+		L2Size: 512 << 10, L2Ways: 16,
+		L1HitLatency: 16, L2HitLatency: 64, ScalarHitLatency: 16,
+		DRAMChannels: 32, DRAMLatency: 160, DRAMOccupancy: 4,
+	}
+}
+
+// GPU is the timed device: CUs plus the shared memory system.
+type GPU struct {
+	P    Params
+	Run  *stats.Run
+	cus  []*cu
+	l2   *mem.Cache
+	dram *mem.DRAM
+	// iCaches / sCaches are shared per 4 CUs (Table 4).
+	iCaches []*mem.Cache
+	sCaches []*mem.Cache
+
+	now int64
+}
+
+// NewGPU builds the device.
+func NewGPU(p Params, run *stats.Run) *GPU {
+	g := &GPU{P: p, Run: run}
+	g.dram = mem.NewDRAM(p.DRAMChannels, p.DRAMLatency, p.DRAMOccupancy)
+	g.l2 = mem.NewCache("L2", p.L2Size, mem.LineSize, p.L2Ways, p.L2HitLatency, true, g.dram)
+	nShared := (p.NumCUs + 3) / 4
+	for i := 0; i < nShared; i++ {
+		g.iCaches = append(g.iCaches, mem.NewCache(fmt.Sprintf("L1I%d", i),
+			p.L1ISize, mem.LineSize, p.L1IWays, p.L1HitLatency, false, g.l2))
+		g.sCaches = append(g.sCaches, mem.NewCache(fmt.Sprintf("sL1%d", i),
+			p.ScalarL1Size, mem.LineSize, p.ScalarL1Ways, p.ScalarHitLatency, false, g.l2))
+	}
+	for i := 0; i < p.NumCUs; i++ {
+		c := newCU(g, i)
+		c.l1d = mem.NewCache(fmt.Sprintf("L1D%d", i),
+			p.L1DSize, mem.LineSize, p.L1DWays, p.L1HitLatency, false, g.l2)
+		c.l1i = g.iCaches[i/4]
+		c.sl1 = g.sCaches[i/4]
+		g.cus = append(g.cus, c)
+	}
+	return g
+}
+
+// Now returns the current cycle.
+func (g *GPU) Now() int64 { return g.now }
+
+// RunDispatch executes one dispatch to completion on the timed model and
+// returns the cycles it took.
+func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
+	start := g.now
+	g.now += g.P.LaunchOverhead
+
+	// Occupancy: waves per CU limited by WF slots and register files.
+	vregs, sregs := eng.RegDemand()
+	wavesByVRF := g.P.WFSlots
+	if vregs > 0 {
+		wavesByVRF = g.P.VRFRegsPerCU / vregs
+	}
+	wavesBySRF := g.P.WFSlots
+	if sregs > 0 {
+		wavesBySRF = g.P.SRFRegsPerCU / sregs
+	}
+	maxWaves := min3(g.P.WFSlots, wavesByVRF, wavesBySRF)
+	if maxWaves < 1 {
+		maxWaves = 1
+	}
+
+	pending := make([]*emu.WGState, 0, len(d.Workgroups))
+	for i := range d.Workgroups {
+		pending = append(pending, emu.NewWGState(d, &d.Workgroups[i], eng.LDSBytes()))
+	}
+	next := 0
+	active := 0
+
+	dispatchMore := func() {
+		for next < len(pending) {
+			placed := false
+			for _, c := range g.cus {
+				wg := pending[next]
+				if c.canPlace(wg, maxWaves) {
+					c.place(wg, eng)
+					next++
+					active++
+					placed = true
+					break
+				}
+				_ = wg
+			}
+			if !placed {
+				break
+			}
+		}
+	}
+	dispatchMore()
+	if active == 0 && next < len(pending) {
+		return 0, fmt.Errorf("timing: workgroup does not fit on any CU")
+	}
+
+	for active > 0 {
+		for _, c := range g.cus {
+			finished, err := c.tick(g.now)
+			if err != nil {
+				return 0, err
+			}
+			active -= finished
+		}
+		g.now++
+		if active > 0 && next < len(pending) {
+			dispatchMore()
+		}
+		if g.Run != nil {
+			g.Run.Cycles++
+		}
+	}
+	return g.now - start, nil
+}
+
+// HarvestCacheStats copies hierarchy counters into the run record.
+func (g *GPU) HarvestCacheStats() {
+	if g.Run == nil {
+		return
+	}
+	for _, c := range g.cus {
+		g.Run.L1DAccesses += c.l1d.Stats.Accesses
+		g.Run.L1DMisses += c.l1d.Stats.Misses
+	}
+	for _, ic := range g.iCaches {
+		g.Run.L1IAccesses += ic.Stats.Accesses
+		g.Run.L1IMisses += ic.Stats.Misses
+	}
+	for _, sc := range g.sCaches {
+		g.Run.ScalarL1Accesses += sc.Stats.Accesses
+		g.Run.ScalarL1Misses += sc.Stats.Misses
+	}
+	g.Run.L2Accesses = g.l2.Stats.Accesses
+	g.Run.L2Misses = g.l2.Stats.Misses
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

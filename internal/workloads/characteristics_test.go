@@ -1,0 +1,233 @@
+package workloads
+
+import (
+	"testing"
+
+	"ilsim/internal/core"
+	"ilsim/internal/hsail"
+	"ilsim/internal/isa"
+	"ilsim/internal/kernel"
+	"ilsim/internal/stats"
+)
+
+// instMix runs a workload functionally under HSAIL and returns its dynamic
+// category counts — the inputs to every per-workload claim in §V.
+func instMix(t *testing.T, name string) *stats.Run {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Prepare(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &stats.Run{Workload: name}
+	m := core.NewMachine(core.AbsHSAIL, run)
+	if err := inst.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunFunctional(); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// staticOps scans a workload's HSAIL kernels for opcode presence.
+func staticOps(t *testing.T, name string) map[hsail.Op]int {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Prepare(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[hsail.Op]int{}
+	for _, ks := range inst.Kernels {
+		for _, b := range ks.HSAIL.Blocks {
+			for ii := range b.Insts {
+				ops[b.Insts[ii].Op]++
+			}
+		}
+	}
+	return ops
+}
+
+// TestBitonicSortIsBranchFree: "Bitonic-Sort and HPGMG do not contain
+// branches, and instead use predication" (paper §V.C). Element-level
+// conditionals must all be conditional moves; the only branches permitted
+// are provably UNIFORM loop bounds (BitonicSort's per-stage LDS loop), which
+// never engage the reconvergence stack.
+func TestBitonicSortIsBranchFree(t *testing.T) {
+	for _, name := range []string{"BitonicSort", "HPGMG"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := w.Prepare(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawCmov := false
+		for _, ks := range inst.Kernels {
+			uni := kernel.AnalyzeUniformity(ks.HSAIL, ks.CFG)
+			for _, blk := range ks.HSAIL.Blocks {
+				for ii := range blk.Insts {
+					in := &blk.Insts[ii]
+					if in.Op == hsail.OpCmov {
+						sawCmov = true
+					}
+					if in.Op == hsail.OpCBr && !uni.CRegs[in.Srcs[0].Reg] {
+						t.Errorf("%s kernel %s has a DIVERGENT branch", name, ks.HSAIL.Name)
+					}
+				}
+			}
+		}
+		if !sawCmov {
+			t.Errorf("%s uses no conditional moves", name)
+		}
+	}
+}
+
+// TestFFTIsComputeBound: "FFT is the most compute-bound application in our
+// suite with around 95% of instructions being ALU instructions and very few
+// branches... FFT executes no divide instructions" (paper §V.A).
+func TestFFTCharacteristics(t *testing.T) {
+	ops := staticOps(t, "FFT")
+	if ops[hsail.OpDiv] != 0 {
+		t.Error("FFT must not contain divide instructions")
+	}
+	if ops[hsail.OpCmov] == 0 {
+		t.Error("FFT should use conditional moves")
+	}
+	run := instMix(t, "FFT")
+	alu := float64(run.InstsByCategory[isa.CatVALU]) / float64(run.TotalInsts())
+	if alu < 0.75 {
+		t.Errorf("FFT ALU fraction %.2f — should be the suite's most compute-bound", alu)
+	}
+	br := float64(run.InstsByCategory[isa.CatBranch]) / float64(run.TotalInsts())
+	if br > 0.01 {
+		t.Errorf("FFT branch fraction %.3f — should be near zero", br)
+	}
+}
+
+// TestCoMDIsBranchHeavy: "CoMD has one of the highest percentages of HSAIL
+// branch instructions" (paper §V.A).
+func TestCoMDIsBranchHeavy(t *testing.T) {
+	comd := instMix(t, "CoMD")
+	comdBr := float64(comd.InstsByCategory[isa.CatBranch]) / float64(comd.TotalInsts())
+	if comdBr < 0.05 {
+		t.Errorf("CoMD branch fraction %.3f too low", comdBr)
+	}
+	for _, other := range []string{"FFT", "BitonicSort", "HPGMG", "SNAP", "MD"} {
+		o := instMix(t, other)
+		oBr := float64(o.InstsByCategory[isa.CatBranch]) / float64(o.TotalInsts())
+		if oBr >= comdBr {
+			t.Errorf("%s branch fraction %.3f >= CoMD's %.3f", other, oBr, comdBr)
+		}
+	}
+}
+
+// TestLULESHHasManyKernelsAndLaunches: "LULESH is composed of 27 unique
+// kernels" with many dynamic launches and private-segment use (§V.C, §VI.A).
+func TestLULESHHasManyKernelsAndLaunches(t *testing.T) {
+	w, err := ByName("LULESH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Prepare(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Kernels) != 27 {
+		t.Fatalf("LULESH has %d kernels, want 27", len(inst.Kernels))
+	}
+	names := map[string]bool{}
+	private := 0
+	for _, ks := range inst.Kernels {
+		if names[ks.HSAIL.Name] {
+			t.Errorf("duplicate kernel name %q", ks.HSAIL.Name)
+		}
+		names[ks.HSAIL.Name] = true
+		if ks.HSAIL.PrivateSize > 0 {
+			private++
+		}
+	}
+	if private == 0 {
+		t.Error("no LULESH kernel uses the private segment")
+	}
+	run := instMix(t, "LULESH")
+	if run.KernelLaunches < 50 {
+		t.Errorf("LULESH launched only %d times — the paper's point is MANY dynamic launches", run.KernelLaunches)
+	}
+}
+
+// TestSpecialSegmentUsers: FFT and LULESH are "the only applications in our
+// suite that use special memory segments (spill and private, respectively)"
+// (paper §VI.A).
+func TestSpecialSegmentUsers(t *testing.T) {
+	for _, w := range All() {
+		inst, err := w.Prepare(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usesSpill, usesPrivate := false, false
+		for _, ks := range inst.Kernels {
+			if ks.HSAIL.SpillSize > 0 {
+				usesSpill = true
+			}
+			if ks.HSAIL.PrivateSize > 0 {
+				usesPrivate = true
+			}
+		}
+		switch w.Name {
+		case "FFT":
+			if !usesSpill {
+				t.Error("FFT must use the spill segment")
+			}
+		case "LULESH":
+			if !usesPrivate {
+				t.Error("LULESH must use the private segment")
+			}
+		default:
+			if usesSpill || usesPrivate {
+				t.Errorf("%s unexpectedly uses special segments", w.Name)
+			}
+		}
+	}
+}
+
+// TestUtilizationOrdering: Table 6's utilization bands — CoMD lowest,
+// XSBench ~50%, SpMV in the middle, regular workloads ~100%.
+func TestUtilizationOrdering(t *testing.T) {
+	util := func(name string) float64 { return instMix(t, name).SIMDUtilization() }
+	comd, xs, spmv := util("CoMD"), util("XSBench"), util("SpMV")
+	md, snap := util("MD"), util("SNAP")
+	if !(comd < xs && xs < spmv) {
+		t.Errorf("utilization ordering broken: CoMD %.2f, XSBench %.2f, SpMV %.2f", comd, xs, spmv)
+	}
+	if comd > 0.35 {
+		t.Errorf("CoMD utilization %.2f too high (paper ~21-23%%)", comd)
+	}
+	if xs < 0.35 || xs > 0.75 {
+		t.Errorf("XSBench utilization %.2f outside the paper's ~53%% band", xs)
+	}
+	if md < 0.97 || snap < 0.97 {
+		t.Errorf("regular workloads should run ~100%%: MD %.2f SNAP %.2f", md, snap)
+	}
+}
+
+// TestHSAILNeverUsesMachineCategories: Figure 5's caption — all HSAIL ALU
+// instructions are vector instructions; no scalar or waitcnt work exists.
+func TestHSAILNeverUsesMachineCategories(t *testing.T) {
+	for _, w := range All() {
+		run := instMix(t, w.Name)
+		if run.InstsByCategory[isa.CatSALU] != 0 ||
+			run.InstsByCategory[isa.CatSMem] != 0 ||
+			run.InstsByCategory[isa.CatWaitcnt] != 0 {
+			t.Errorf("%s: HSAIL produced machine-only categories", w.Name)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package workloads implements the paper's Table 5 application suite against
+// the kernel-builder API. Each workload reproduces the characteristics the
+// paper's evaluation attributes to its namesake — the properties that drive
+// every per-workload result in Figures 5-12 and Table 6:
+//
+//	ArrayBW     memory streaming in a tight uniform loop
+//	BitonicSort branch-free compare-exchange networks (pure predication)
+//	CoMD        branch-heavy neighbor-list force loops
+//	FFT         compute-bound, cmov-heavy, divide-free, spill-segment use
+//	HPGMG       stencil smoothing with boundary predication, no branches
+//	LULESH      27 unique kernels, many dynamic launches, private-segment use
+//	MD          all-pairs forces: f64 divides and rsqrt, full SIMD utilization
+//	SNAP        transport sweeps: regular f64 fma/divide chains
+//	SpMV        CSR row loops with data-dependent (divergent) trip counts
+//	XSBench     randomized binary-search table lookups with divergent gathers
+//
+// Inputs are deterministic per scale so both abstractions execute identical
+// data, and every workload carries a host-side output checker.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ilsim/internal/core"
+)
+
+// Instance is a prepared workload run: Setup allocates and initializes
+// buffers on a machine and submits every launch; Check verifies outputs
+// after the run.
+type Instance struct {
+	Setup func(m *core.Machine) error
+	Check func(m *core.Machine) error
+	// Kernels lists the prepared kernels (for footprint reports).
+	Kernels []*core.KernelSource
+}
+
+// Workload is one Table 5 application.
+type Workload struct {
+	Name        string
+	Description string
+	// Prepare builds kernels and input generators at the given scale
+	// (1 = unit-test size; DefaultScale = evaluation size).
+	Prepare func(scale int) (*Instance, error)
+}
+
+// DefaultScale is the evaluation input scale used by the report harness.
+const DefaultScale = 4
+
+// All returns the suite in the paper's Table 5 order.
+func All() []*Workload {
+	return []*Workload{
+		ArrayBW(), BitonicSort(), CoMD(), FFT(), HPGMG(),
+		LULESH(), MD(), SNAP(), SpMV(), XSBench(),
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// rng returns the deterministic generator for a workload/scale pair.
+func rng(name string, scale int) *rand.Rand {
+	seed := int64(len(name)*1000003 + scale)
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// f32Bits truncates a float64 to float32 storage bits.
+func f32Bits(v float64) uint32 {
+	return mathFloat32bits(float32(v))
+}
