@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the tier-1 gate; `make race` runs
+# the concurrency-sensitive packages under the race detector, including the
+# experiment engine's determinism tests.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exp/... ./internal/core/...
+
+bench:
+	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -benchtime 3x .

@@ -11,10 +11,12 @@
 package ilsim
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
 	"ilsim/internal/core"
+	"ilsim/internal/exp"
 	"ilsim/internal/isa"
 	"ilsim/internal/report"
 	"ilsim/internal/stats"
@@ -32,12 +34,13 @@ var (
 )
 
 // suite runs the full dual-abstraction suite once (with the hardware oracle)
-// and is shared by every figure benchmark; the first benchmark to run pays
-// the cost, which `go test -bench` reports as its ns/op.
+// on the parallel experiment engine and is shared by every figure benchmark;
+// the first benchmark to run pays the cost, which `go test -bench` reports
+// as its ns/op.
 func suite(b *testing.B) *report.Results {
 	b.Helper()
 	suiteOnce.Do(func() {
-		suiteRes, suiteErr = report.Collect(core.DefaultConfig(), benchScale, true)
+		suiteRes, suiteErr = report.CollectParallel(exp.New(0), core.DefaultConfig(), benchScale, true)
 	})
 	if suiteErr != nil {
 		b.Fatal(suiteErr)
@@ -45,33 +48,21 @@ func suite(b *testing.B) *report.Results {
 	return suiteRes
 }
 
-// runPair executes one workload under both abstractions on the timed model.
+// runPair executes one workload under both abstractions by submitting the
+// job pair through the experiment engine.
 func runPair(b *testing.B, name string, opts core.RunOptions) (*stats.Run, *stats.Run) {
 	b.Helper()
-	w, err := workloads.ByName(name)
+	jobs := []exp.Job{
+		{Workload: name, Scale: benchScale, Abs: core.AbsHSAIL, Config: core.DefaultConfig(), Opts: opts},
+		{Workload: name, Scale: benchScale, Abs: core.AbsGCN3, Config: core.DefaultConfig(), Opts: opts},
+	}
+	eng := exp.New(0)
+	eng.Mode = exp.FailFast
+	results, _, err := eng.Run(jobs)
 	if err != nil {
 		b.Fatal(err)
 	}
-	inst, err := w.Prepare(benchScale)
-	if err != nil {
-		b.Fatal(err)
-	}
-	sim, err := core.NewSimulator(core.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	var runs [2]*stats.Run
-	for i, abs := range []core.Abstraction{core.AbsHSAIL, core.AbsGCN3} {
-		run, m, err := sim.Run(abs, name, inst.Setup, opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := inst.Check(m); err != nil {
-			b.Fatal(err)
-		}
-		runs[i] = run
-	}
-	return runs[0], runs[1]
+	return results[0].Run, results[1].Run
 }
 
 // BenchmarkFig1Summary regenerates the Figure 1 roll-up of dissimilar and
@@ -249,6 +240,54 @@ func BenchmarkTable7HardwareCorrelation(b *testing.B) {
 		b.ReportMetric(100*stats.MeanAbsError(hs, hw), "HSAIL-err-%")
 		b.ReportMetric(100*stats.MeanAbsError(gs, hw), "GCN3-err-%")
 	}
+}
+
+// sweepBenchJobs builds the 4-point VRF bank sweep (both abstractions per
+// point, 8 jobs) used by the serial-vs-parallel engine benchmarks.
+func sweepBenchJobs(b *testing.B) []exp.Job {
+	b.Helper()
+	pts, err := exp.SweepPoints("banks")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exp.PairJobs("ArrayBW", benchScale, pts[:4], core.RunOptions{})
+}
+
+// runSweepBench drives one engine configuration over the bank sweep with a
+// fresh engine (and thus a cold instance cache) per iteration, so serial and
+// parallel pay identical preparation costs.
+func runSweepBench(b *testing.B, workers int) {
+	b.Helper()
+	jobs := sweepBenchJobs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := exp.New(workers)
+		results, m, err := eng.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		b.ReportMetric(m.Speedup(), "speedup")
+		b.ReportMetric(m.Throughput(), "jobs/s")
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker baseline for the 4-point bank
+// sweep; compare with BenchmarkSweepParallel.
+func BenchmarkSweepSerial(b *testing.B) {
+	runSweepBench(b, 1)
+}
+
+// BenchmarkSweepParallel runs the same sweep with one worker per core. On a
+// multi-core runner the wall-clock ratio to BenchmarkSweepSerial is the
+// engine's parallel speedup (the `speedup` metric reports the engine's own
+// per-run measurement of the same quantity).
+func BenchmarkSweepParallel(b *testing.B) {
+	runSweepBench(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ilsim-report [-scale N] [-hw=false] [-exp fig5] [-o EXPERIMENTS.md]
+//	ilsim-report [-scale N] [-hw=false] [-exp fig5] [-o EXPERIMENTS.md] [-j 8]
 package main
 
 import (
@@ -12,19 +12,21 @@ import (
 	"os"
 
 	"ilsim/internal/core"
+	"ilsim/internal/exp"
 	"ilsim/internal/report"
 )
 
 func main() {
 	scale := flag.Int("scale", 2, "input scale for the workload suite")
 	withHW := flag.Bool("hw", true, "run the hardware-correlation oracle (Table 7)")
-	exp := flag.String("exp", "", "render only one experiment (fig1, fig3, fig5..fig12, table6, table7, ablation)")
+	expName := flag.String("exp", "", "render only one experiment (fig1, fig3, fig5..fig12, table6, table7, ablation)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also export per-figure CSV files to this directory")
+	workers := flag.Int("j", 0, "max parallel simulation jobs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
-	res, err := report.Collect(cfg, *scale, *withHW)
+	res, err := report.CollectParallel(exp.New(*workers), cfg, *scale, *withHW)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ilsim-report:", err)
 		os.Exit(1)
@@ -38,7 +40,7 @@ func main() {
 	}
 
 	var text string
-	switch *exp {
+	switch *expName {
 	case "":
 		text = res.Markdown(cfg)
 	case "fig1":
@@ -77,7 +79,7 @@ func main() {
 		}
 		text = report.AblationTable(rows)
 	default:
-		fmt.Fprintf(os.Stderr, "ilsim-report: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "ilsim-report: unknown experiment %q\n", *expName)
 		os.Exit(2)
 	}
 

@@ -1,7 +1,9 @@
 // Command ilsim-sweep runs sensitivity studies over microarchitecture
 // parameters — the experiments an architect would run next with this
 // infrastructure, and a demonstration of how the IL-vs-ISA gap moves with
-// the hardware design point.
+// the hardware design point. Points execute in parallel on the experiment
+// engine's worker pool; results print in design-point order regardless of
+// completion order.
 //
 // Usage:
 //
@@ -9,107 +11,99 @@
 //	ilsim-sweep -param ib     -workload CoMD      # instruction-buffer size
 //	ilsim-sweep -param waves  -workload MD        # wavefront slots per CU
 //	ilsim-sweep -param l1i    -workload LULESH    # I-cache size
+//	ilsim-sweep -param cus    -workload SpMV      # machine scaling (CU count)
+//	ilsim-sweep -param banks -j 8 -v              # 8 workers, progress on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"ilsim/internal/core"
-	"ilsim/internal/stats"
-	"ilsim/internal/workloads"
+	"ilsim/internal/exp"
 )
 
-type point struct {
-	label string
-	cfg   core.Config
-}
-
-func sweepPoints(param string) ([]point, error) {
-	base := core.DefaultConfig()
-	var pts []point
-	add := func(label string, mod func(*core.Config)) {
-		cfg := base
-		mod(&cfg)
-		pts = append(pts, point{label, cfg})
-	}
-	switch param {
-	case "banks":
-		for _, b := range []int{4, 8, 16, 32, 64} {
-			b := b
-			add(fmt.Sprintf("banks=%d", b), func(c *core.Config) { c.VRFBanks = b })
-		}
-	case "ib":
-		for _, e := range []int{2, 4, 8, 16, 32} {
-			e := e
-			add(fmt.Sprintf("ib=%dB", e*8), func(c *core.Config) { c.IBEntries = e })
-		}
-	case "waves":
-		for _, wf := range []int{4, 10, 20, 40} {
-			wf := wf
-			add(fmt.Sprintf("waves=%d", wf), func(c *core.Config) { c.WFSlots = wf })
-		}
-	case "l1i":
-		for _, kb := range []int{4, 8, 16, 32, 64} {
-			kb := kb
-			add(fmt.Sprintf("l1i=%dKB", kb), func(c *core.Config) { c.L1ISize = kb << 10 })
-		}
-	default:
-		return nil, fmt.Errorf("unknown parameter %q (banks, ib, waves, l1i)", param)
-	}
-	return pts, nil
-}
-
 func main() {
-	param := flag.String("param", "banks", "parameter to sweep: banks, ib, waves, l1i")
-	name := flag.String("workload", "ArrayBW", "workload to sweep")
-	scale := flag.Int("scale", 1, "input scale")
-	flag.Parse()
-
-	pts, err := sweepPoints(*param)
-	if err != nil {
-		fatal(err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ilsim-sweep:", err)
+		os.Exit(1)
 	}
-	w, err := workloads.ByName(*name)
-	if err != nil {
-		fatal(err)
-	}
-	inst, err := w.Prepare(*scale)
-	if err != nil {
-		fatal(err)
-	}
-
-	fmt.Printf("sweep %s on %s (scale %d)\n\n", *param, *name, *scale)
-	fmt.Printf("%-12s %12s %12s %10s %12s %12s %10s\n",
-		"point", "HSAIL cyc", "GCN3 cyc", "H/G", "H conflicts", "G conflicts", "H flushes")
-	for _, pt := range pts {
-		sim, err := core.NewSimulator(pt.cfg)
-		if err != nil {
-			fatal(err)
-		}
-		var runs [2]*stats.Run
-		for i, abs := range []core.Abstraction{core.AbsHSAIL, core.AbsGCN3} {
-			run, m, err := sim.Run(abs, *name, inst.Setup, core.RunOptions{})
-			if err != nil {
-				fatal(err)
-			}
-			if err := inst.Check(m); err != nil {
-				fatal(fmt.Errorf("%s: %w", pt.label, err))
-			}
-			runs[i] = run
-		}
-		h, g := runs[0], runs[1]
-		fmt.Printf("%-12s %12d %12d %10.2f %12d %12d %10d\n",
-			pt.label, h.Cycles, g.Cycles,
-			float64(h.Cycles)/float64(g.Cycles),
-			h.VRFBankConflicts, g.VRFBankConflicts, h.IBFlushes)
-	}
-	fmt.Println("\nNote how the HSAIL/GCN3 gap itself moves with the design point —")
-	fmt.Println("the paper's argument that no fixed fudge-factor can correct IL simulation.")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ilsim-sweep:", err)
-	os.Exit(1)
+// run parses args and executes the sweep, writing the result table to out
+// and (with -v) progress lines to errw. Split from main for the smoke
+// tests.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ilsim-sweep", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	param := fs.String("param", "banks", "parameter to sweep: "+strings.Join(exp.SweepParams(), ", "))
+	name := fs.String("workload", "ArrayBW", "workload to sweep")
+	scale := fs.Int("scale", 1, "input scale")
+	workers := fs.Int("j", 0, "max parallel jobs (0 = GOMAXPROCS)")
+	points := fs.Int("points", 0, "limit the sweep to its first N points (0 = all)")
+	failFast := fs.Bool("failfast", false, "abort the sweep on the first failed point (default: collect all)")
+	verbose := fs.Bool("v", false, "print per-job progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pts, err := exp.SweepPoints(*param)
+	if err != nil {
+		return err
+	}
+	if *points > 0 && *points < len(pts) {
+		pts = pts[:*points]
+	}
+	jobs := exp.PairJobs(*name, *scale, pts, core.RunOptions{})
+
+	eng := exp.New(*workers)
+	if *failFast {
+		eng.Mode = exp.FailFast
+	}
+	if *verbose {
+		eng.OnProgress = func(p exp.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "FAIL: " + p.Err.Error()
+			}
+			fmt.Fprintf(errw, "[%d/%d] %-28s %8.2fs  %s\n",
+				p.Done, p.Total, p.Job, p.Wall.Seconds(), status)
+		}
+	}
+	results, metrics, err := eng.Run(jobs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "sweep %s on %s (scale %d)\n\n", *param, *name, *scale)
+	fmt.Fprintf(out, "%-12s %12s %12s %10s %12s %12s %10s\n",
+		"point", "HSAIL cyc", "GCN3 cyc", "H/G", "H conflicts", "G conflicts", "H flushes")
+	failed := 0
+	for i := 0; i < len(results); i += 2 {
+		h, g := results[i], results[i+1]
+		if h.Err != nil || g.Err != nil {
+			failed++
+			err := h.Err
+			if err == nil {
+				err = g.Err
+			}
+			fmt.Fprintf(out, "%-12s %s\n", h.Job.Label, "error: "+err.Error())
+			continue
+		}
+		fmt.Fprintf(out, "%-12s %12d %12d %10.2f %12d %12d %10d\n",
+			h.Job.Label, h.Run.Cycles, g.Run.Cycles,
+			float64(h.Run.Cycles)/float64(g.Run.Cycles),
+			h.Run.VRFBankConflicts, g.Run.VRFBankConflicts, h.Run.IBFlushes)
+	}
+	fmt.Fprintf(out, "\n%d jobs in %.2fs (%.1f jobs/s, speedup %.2fx over serial)\n",
+		metrics.Jobs, metrics.Elapsed.Seconds(), metrics.Throughput(), metrics.Speedup())
+	fmt.Fprintln(out, "\nNote how the HSAIL/GCN3 gap itself moves with the design point —")
+	fmt.Fprintln(out, "the paper's argument that no fixed fudge-factor can correct IL simulation.")
+	if failed > 0 {
+		return fmt.Errorf("%d of %d points failed", failed, len(results)/2)
+	}
+	return nil
 }

@@ -1,10 +1,16 @@
-// Command ilsim runs one workload of the Table 5 suite under one or both
+// Command ilsim runs workloads of the Table 5 suite under one or both
 // ISA abstractions on the timed GPU model and prints the statistics the
 // paper compares.
+//
+// With one workload it prints full per-run statistics; with several
+// (comma-separated, or "all") it prints a comparison table, executing every
+// (workload × abstraction) job in parallel on the experiment engine.
 //
 // Usage:
 //
 //	ilsim [-workload LULESH] [-abs both|hsail|gcn3] [-scale N] [-values] [-reuse]
+//	ilsim -workload all -j 8            # whole suite, engine-parallel table
+//	ilsim -workload MD,SpMV,XSBench     # subset table
 //	ilsim -list
 package main
 
@@ -12,43 +18,56 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"ilsim/internal/core"
+	"ilsim/internal/exp"
 	"ilsim/internal/isa"
 	"ilsim/internal/stats"
 	"ilsim/internal/workloads"
 )
 
 func main() {
-	name := flag.String("workload", "ArrayBW", "workload name (see -list)")
-	abs := flag.String("abs", "both", "abstraction: hsail, gcn3, or both")
-	scale := flag.Int("scale", 2, "input scale")
-	values := flag.Bool("values", false, "track VRF lane-value uniqueness (Fig 10)")
-	reuse := flag.Bool("reuse", false, "track register reuse distance (Fig 7)")
-	list := flag.Bool("list", false, "list workloads and exit")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	cus := flag.Int("cus", 0, "override the number of compute units")
-	banks := flag.Int("banks", 0, "override the VRF bank count")
-	wfSlots := flag.Int("wfslots", 0, "override wavefront slots per CU")
-	l1iKB := flag.Int("l1i", 0, "override the I-cache size in KB")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ilsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes; split from main for the smoke tests.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ilsim", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	name := fs.String("workload", "ArrayBW", `workload name (see -list), comma-separated list, or "all"`)
+	abs := fs.String("abs", "both", "abstraction: hsail, gcn3, or both")
+	scale := fs.Int("scale", 2, "input scale")
+	values := fs.Bool("values", false, "track VRF lane-value uniqueness (Fig 10)")
+	reuse := fs.Bool("reuse", false, "track register reuse distance (Fig 7)")
+	list := fs.Bool("list", false, "list workloads and exit")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text (single workload)")
+	workers := fs.Int("j", 0, "max parallel jobs (0 = GOMAXPROCS)")
+	cus := fs.Int("cus", 0, "override the number of compute units")
+	banks := fs.Int("banks", 0, "override the VRF bank count")
+	wfSlots := fs.Int("wfslots", 0, "override wavefront slots per CU")
+	l1iKB := fs.Int("l1i", 0, "override the I-cache size in KB")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-12s %s\n", w.Name, w.Description)
+			fmt.Fprintf(out, "%-12s %s\n", w.Name, w.Description)
 		}
-		return
+		return nil
 	}
 
-	w, err := workloads.ByName(*name)
+	names, err := workloadNames(*name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	inst, err := w.Prepare(*scale)
-	if err != nil {
-		fatal(err)
-	}
+
 	cfg := core.DefaultConfig()
 	if *cus > 0 {
 		cfg.NumCUs = *cus
@@ -62,10 +81,6 @@ func main() {
 	if *l1iKB > 0 {
 		cfg.L1ISize = *l1iKB << 10
 	}
-	sim, err := core.NewSimulator(cfg)
-	if err != nil {
-		fatal(err)
-	}
 	opts := core.RunOptions{TrackValues: *values, ValueSampleEvery: 4, TrackReuse: *reuse}
 
 	var targets []core.Abstraction
@@ -77,42 +92,103 @@ func main() {
 	case "gcn3":
 		targets = []core.Abstraction{core.AbsGCN3}
 	default:
-		fatal(fmt.Errorf("unknown abstraction %q", *abs))
+		return fmt.Errorf("unknown abstraction %q", *abs)
 	}
 
-	if !*asJSON {
-		fmt.Printf("workload %s (scale %d) on:\n%s\n\n", w.Name, *scale, cfg)
+	var jobs []exp.Job
+	for _, n := range names {
+		for _, a := range targets {
+			jobs = append(jobs, exp.Job{Workload: n, Scale: *scale, Abs: a, Config: cfg, Opts: opts})
+		}
 	}
-	var runs []*stats.Run
-	for _, a := range targets {
-		run, m, err := sim.Run(a, w.Name, inst.Setup, opts)
-		if err != nil {
-			fatal(err)
-		}
-		if err := inst.Check(m); err != nil {
-			fatal(fmt.Errorf("output check failed: %w", err))
-		}
-		runs = append(runs, run)
-		if !*asJSON {
-			printRun(run, *values, *reuse)
-		}
+	eng := exp.New(*workers)
+	eng.Mode = exp.FailFast
+	results, _, err := eng.Run(jobs)
+	if err != nil {
+		return err
+	}
+
+	if len(names) > 1 {
+		printTable(out, names, targets, results)
+		return nil
+	}
+
+	// Single workload: the classic detailed view.
+	runs := make([]*stats.Run, len(results))
+	for i, r := range results {
+		runs[i] = r.Run
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonReport(runs, *scale)); err != nil {
-			fatal(err)
-		}
-		return
+		return enc.Encode(jsonReport(runs, *scale))
+	}
+	fmt.Fprintf(out, "workload %s (scale %d) on:\n%s\n\n", names[0], *scale, cfg)
+	for _, r := range runs {
+		printRun(out, r, *values, *reuse)
 	}
 	if len(runs) == 2 {
 		h, g := runs[0], runs[1]
-		fmt.Printf("GCN3/HSAIL: insts %.2fx, cycles %.2fx, footprint %.2fx, conflicts %.2fx, flushes %.2fx\n",
+		fmt.Fprintf(out, "GCN3/HSAIL: insts %.2fx, cycles %.2fx, footprint %.2fx, conflicts %.2fx, flushes %.2fx\n",
 			float64(g.TotalInsts())/float64(h.TotalInsts()),
 			float64(g.Cycles)/float64(h.Cycles),
 			float64(g.CodeFootprintBytes)/float64(h.CodeFootprintBytes),
 			ratio(g.VRFBankConflicts, h.VRFBankConflicts),
 			ratio(g.IBFlushes, h.IBFlushes))
+	}
+	return nil
+}
+
+// workloadNames expands the -workload argument: one name, a comma list, or
+// "all" (Table 5 order).
+func workloadNames(arg string) ([]string, error) {
+	if arg == "all" {
+		var names []string
+		for _, w := range workloads.All() {
+			names = append(names, w.Name)
+		}
+		return names, nil
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, err := workloads.ByName(n); err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no workloads in %q", arg)
+	}
+	return names, nil
+}
+
+// printTable renders the multi-workload comparison table: one row per
+// workload, the headline cross-abstraction statistics as columns. Results
+// arrive in (workload-major, abstraction-minor) job order.
+func printTable(out io.Writer, names []string, targets []core.Abstraction, results []exp.Result) {
+	if len(targets) == 2 {
+		fmt.Fprintf(out, "%-12s %12s %12s %7s %10s %10s %7s %7s %7s\n",
+			"workload", "HSAIL cyc", "GCN3 cyc", "H/G", "H insts", "G insts", "G/H", "H util", "G util")
+		for i, n := range names {
+			h, g := results[2*i].Run, results[2*i+1].Run
+			fmt.Fprintf(out, "%-12s %12d %12d %7.2f %10d %10d %7.2f %6.0f%% %6.0f%%\n",
+				n, h.Cycles, g.Cycles, float64(h.Cycles)/float64(g.Cycles),
+				h.TotalInsts(), g.TotalInsts(),
+				float64(g.TotalInsts())/float64(h.TotalInsts()),
+				100*h.SIMDUtilization(), 100*g.SIMDUtilization())
+		}
+		return
+	}
+	fmt.Fprintf(out, "%-12s %-6s %12s %10s %7s %7s\n",
+		"workload", "abs", "cycles", "insts", "IPC", "util")
+	for _, r := range results {
+		fmt.Fprintf(out, "%-12s %-6s %12d %10d %7.3f %6.0f%%\n",
+			r.Job.Workload, r.Job.Abs, r.Run.Cycles, r.Run.TotalInsts(),
+			r.Run.IPC(), 100*r.Run.SIMDUtilization())
 	}
 }
 
@@ -181,36 +257,31 @@ func ratio(a, b uint64) float64 {
 	return float64(a) / float64(b)
 }
 
-func printRun(r *stats.Run, values, reuse bool) {
-	fmt.Printf("--- %s ---\n", r.Abstraction)
-	fmt.Printf("  cycles            %12d   (%d kernel launches)\n", r.Cycles, r.KernelLaunches)
-	fmt.Printf("  instructions      %12d   IPC %.3f\n", r.TotalInsts(), r.IPC())
-	fmt.Print("  mix              ")
+func printRun(out io.Writer, r *stats.Run, values, reuse bool) {
+	fmt.Fprintf(out, "--- %s ---\n", r.Abstraction)
+	fmt.Fprintf(out, "  cycles            %12d   (%d kernel launches)\n", r.Cycles, r.KernelLaunches)
+	fmt.Fprintf(out, "  instructions      %12d   IPC %.3f\n", r.TotalInsts(), r.IPC())
+	fmt.Fprint(out, "  mix              ")
 	for c := 0; c < isa.NumCategories; c++ {
 		if r.InstsByCategory[c] > 0 {
-			fmt.Printf(" %s=%d", isa.Category(c), r.InstsByCategory[c])
+			fmt.Fprintf(out, " %s=%d", isa.Category(c), r.InstsByCategory[c])
 		}
 	}
-	fmt.Println()
-	fmt.Printf("  code footprint    %12d bytes\n", r.CodeFootprintBytes)
-	fmt.Printf("  data footprint    %12d bytes\n", r.DataFootprintBytes)
-	fmt.Printf("  SIMD utilization  %11.1f%%\n", 100*r.SIMDUtilization())
-	fmt.Printf("  VRF bank conflicts%12d   (%.2f per kilo-inst)\n", r.VRFBankConflicts, r.ConflictsPerKiloInst())
-	fmt.Printf("  IB flushes        %12d   (redirects %d, fetch stalls %d)\n", r.IBFlushes, r.Redirects, r.FetchStallCycles)
-	fmt.Printf("  L1D %d/%d  L1I %d/%d  sL1 %d/%d  L2 %d/%d (miss/access)\n",
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "  code footprint    %12d bytes\n", r.CodeFootprintBytes)
+	fmt.Fprintf(out, "  data footprint    %12d bytes\n", r.DataFootprintBytes)
+	fmt.Fprintf(out, "  SIMD utilization  %11.1f%%\n", 100*r.SIMDUtilization())
+	fmt.Fprintf(out, "  VRF bank conflicts%12d   (%.2f per kilo-inst)\n", r.VRFBankConflicts, r.ConflictsPerKiloInst())
+	fmt.Fprintf(out, "  IB flushes        %12d   (redirects %d, fetch stalls %d)\n", r.IBFlushes, r.Redirects, r.FetchStallCycles)
+	fmt.Fprintf(out, "  L1D %d/%d  L1I %d/%d  sL1 %d/%d  L2 %d/%d (miss/access)\n",
 		r.L1DMisses, r.L1DAccesses, r.L1IMisses, r.L1IAccesses,
 		r.ScalarL1Misses, r.ScalarL1Accesses, r.L2Misses, r.L2Accesses)
 	if reuse {
-		fmt.Printf("  reuse distance    %12d median (%d samples)\n", r.Reuse.Median(), r.Reuse.N())
+		fmt.Fprintf(out, "  reuse distance    %12d median (%d samples)\n", r.Reuse.Median(), r.Reuse.N())
 	}
 	if values {
-		fmt.Printf("  value uniqueness  %10.1f%% reads, %.1f%% writes\n",
+		fmt.Fprintf(out, "  value uniqueness  %10.1f%% reads, %.1f%% writes\n",
 			100*r.ReadUniqueness(), 100*r.WriteUniqueness())
 	}
-	fmt.Println()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ilsim:", err)
-	os.Exit(1)
+	fmt.Fprintln(out)
 }

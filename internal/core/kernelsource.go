@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ilsim/internal/finalizer"
 	"ilsim/internal/gcn3"
@@ -12,6 +13,10 @@ import (
 // KernelSource is one kernel prepared for dual-abstraction execution: the
 // HSAIL form (as shipped in the BRIG-like container) and the finalized GCN3
 // code object, plus the CFG analysis both consumers share.
+//
+// A prepared KernelSource is immutable and safe to load on any number of
+// Machines concurrently; the experiment engine's instance cache relies on
+// this to finalize each kernel once per sweep instead of once per point.
 type KernelSource struct {
 	HSAIL *hsail.Kernel
 	CFG   *kernel.CFG
@@ -19,6 +24,22 @@ type KernelSource struct {
 	// BRIGBytes is the encoded IL container size (the "several kilobytes"
 	// representation, reported for context alongside Figure 8).
 	BRIGBytes int
+
+	// encOnce memoizes EncodedGCN3: CodeObject.Encode re-runs program
+	// layout, which mutates the shared Program, so concurrent Machines
+	// must share one encode.
+	encOnce  sync.Once
+	encBytes []byte
+	encErr   error
+}
+
+// EncodedGCN3 returns the serialized GCN3 code object, encoding it at most
+// once per KernelSource (concurrent loaders share the result).
+func (ks *KernelSource) EncodedGCN3() ([]byte, error) {
+	ks.encOnce.Do(func() {
+		ks.encBytes, ks.encErr = ks.GCN3.Encode()
+	})
+	return ks.encBytes, ks.encErr
 }
 
 // PrepareKernel runs the full toolchain on an HSAIL kernel: validation,

@@ -86,7 +86,7 @@ func (m *Machine) Load(ks *KernelSource) uint64 {
 			m.Ctx.Mem.WriteU64(base+uint64(i*8), uint64(i))
 		}
 	} else {
-		encoded, err := ks.GCN3.Encode()
+		encoded, err := ks.EncodedGCN3()
 		if err != nil {
 			panic(fmt.Sprintf("core: encoding validated code object: %v", err))
 		}

@@ -1,0 +1,263 @@
+// Package exp is the experiment engine: the single entry point for running
+// declarative sets of (workload × scale × abstraction × config) simulation
+// jobs. It executes jobs on a bounded goroutine worker pool, memoizes
+// workload preparation per (workload, scale) so kernel finalization and
+// input generation run once per sweep instead of once per design point, and
+// returns results in deterministic job order regardless of completion
+// order. Every multi-run campaign in the repository — the sweep and report
+// CLIs, the figure benchmarks — submits through this engine.
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ilsim/internal/core"
+	"ilsim/internal/stats"
+)
+
+// Job is one experiment point: a workload executed at one input scale under
+// one abstraction on one machine configuration.
+type Job struct {
+	// Label names the point in progress reports and result tables
+	// (e.g. "banks=16"); optional.
+	Label    string
+	Workload string
+	Scale    int
+	Abs      core.Abstraction
+	Config   core.Config
+	Opts     core.RunOptions
+	// SkipCheck disables the workload's host-side output verification
+	// after the run.
+	SkipCheck bool
+}
+
+// String names the job for progress lines and errors.
+func (j Job) String() string {
+	s := fmt.Sprintf("%s/%s@%d", j.Workload, j.Abs, j.Scale)
+	if j.Label != "" {
+		s = j.Label + " " + s
+	}
+	return s
+}
+
+// Result is one job's outcome. Results returned by Run are indexed exactly
+// like the submitted jobs.
+type Result struct {
+	Job  Job
+	Run  *stats.Run
+	Err  error
+	Wall time.Duration
+}
+
+// Progress is the snapshot passed to an engine's progress hook each time a
+// job finishes. Hook invocations are serialized by the engine.
+type Progress struct {
+	// Done and Failed count finished and failed jobs so far; Total is the
+	// size of the job set.
+	Done, Failed, Total int
+	// Job and Err describe the job that just finished.
+	Job Job
+	Err error
+	// Wall is the finished job's wall time; Elapsed is the time since the
+	// Run call started.
+	Wall, Elapsed time.Duration
+}
+
+// Metrics summarizes one Run invocation.
+type Metrics struct {
+	Jobs   int
+	Failed int
+	// Elapsed is the wall time of the whole Run call; JobWall is the sum
+	// of per-job wall times (Elapsed × perfect speedup).
+	Elapsed time.Duration
+	JobWall time.Duration
+}
+
+// Throughput returns completed jobs per second of engine wall time.
+func (m Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Jobs-m.Failed) / m.Elapsed.Seconds()
+}
+
+// Speedup returns the parallel speedup over serial execution of the same
+// job set (sum of job wall times over engine wall time).
+func (m Metrics) Speedup() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return m.JobWall.Seconds() / m.Elapsed.Seconds()
+}
+
+// Mode selects the engine's error handling.
+type Mode int
+
+const (
+	// CollectAll runs every job to completion; failures are recorded in
+	// the failing job's Result and do not abort the sweep.
+	CollectAll Mode = iota
+	// FailFast cancels outstanding jobs after the first failure; jobs that
+	// never started carry ErrCanceled.
+	FailFast
+)
+
+// ErrCanceled marks jobs skipped because a FailFast engine saw an earlier
+// failure.
+var ErrCanceled = errors.New("exp: job canceled after earlier failure")
+
+// Engine executes job sets. The zero value is not usable; construct with
+// New. An engine may run many job sets; its instance cache persists across
+// Run calls, so sweeps over the same workload reuse prepared kernels.
+type Engine struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Mode selects CollectAll (default) or FailFast error handling.
+	Mode Mode
+	// OnProgress, when non-nil, observes every job completion. Calls are
+	// serialized; keep the hook cheap (it is on the completion path).
+	OnProgress func(Progress)
+
+	cache *InstanceCache
+}
+
+// New creates an engine with the given worker-pool bound (<= 0 means
+// GOMAXPROCS).
+func New(workers int) *Engine {
+	return &Engine{Workers: workers, cache: NewInstanceCache()}
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the job set and returns one Result per job in submission
+// order, regardless of completion order, plus aggregate metrics. In
+// CollectAll mode the returned error is always nil and per-job errors live
+// in the Results; in FailFast mode the first job error is also returned.
+func (e *Engine) Run(jobs []Job) ([]Result, Metrics, error) {
+	start := time.Now()
+	results := make([]Result, len(jobs))
+	for i := range jobs {
+		results[i].Job = jobs[i]
+	}
+	if len(jobs) == 0 {
+		return results, Metrics{}, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		mu       sync.Mutex // guards done, failed, firstErr, hook calls
+		done     int
+		failed   int
+		firstErr error
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := &results[i]
+				if e.Mode == FailFast && ctx.Err() != nil {
+					r.Err = ErrCanceled
+				} else {
+					jobStart := time.Now()
+					r.Run, r.Err = e.runJob(jobs[i])
+					r.Wall = time.Since(jobStart)
+				}
+				mu.Lock()
+				done++
+				if r.Err != nil {
+					failed++
+					if firstErr == nil && !errors.Is(r.Err, ErrCanceled) {
+						firstErr = fmt.Errorf("exp: job %s: %w", jobs[i], r.Err)
+						if e.Mode == FailFast {
+							cancel()
+						}
+					}
+				}
+				if e.OnProgress != nil {
+					e.OnProgress(Progress{
+						Done: done, Failed: failed, Total: len(jobs),
+						Job: jobs[i], Err: r.Err,
+						Wall: r.Wall, Elapsed: time.Since(start),
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	m := Metrics{Jobs: len(jobs), Failed: failed, Elapsed: time.Since(start)}
+	for i := range results {
+		m.JobWall += results[i].Wall
+	}
+	if e.Mode == FailFast {
+		return results, m, firstErr
+	}
+	return results, m, nil
+}
+
+// runJob executes one job: prepare (via the cache), simulate, verify.
+func (e *Engine) runJob(job Job) (*stats.Run, error) {
+	inst, err := e.cache.Get(job.Workload, job.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.NewSimulator(job.Config)
+	if err != nil {
+		return nil, err
+	}
+	run, m, err := sim.Run(job.Abs, job.Workload, inst.Setup, job.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if !job.SkipCheck {
+		if err := inst.Check(m); err != nil {
+			return nil, fmt.Errorf("output check: %w", err)
+		}
+	}
+	return run, nil
+}
+
+// PairJobs builds the standard dual-abstraction job set: for each sweep
+// point, the workload under HSAIL then GCN3 (the paper's fundamental
+// experiment shape). Results come back as consecutive (HSAIL, GCN3) pairs
+// per point.
+func PairJobs(workload string, scale int, pts []Point, opts core.RunOptions) []Job {
+	jobs := make([]Job, 0, 2*len(pts))
+	for _, pt := range pts {
+		for _, abs := range []core.Abstraction{core.AbsHSAIL, core.AbsGCN3} {
+			jobs = append(jobs, Job{
+				Label:    pt.Label,
+				Workload: workload,
+				Scale:    scale,
+				Abs:      abs,
+				Config:   pt.Config,
+				Opts:     opts,
+			})
+		}
+	}
+	return jobs
+}

@@ -85,9 +85,18 @@ func (o *Oracle) KernelRuntimes(w *workloads.Workload, scale int) ([]float64, er
 	if err := inst.Check(m); err != nil {
 		return nil, fmt.Errorf("hwmodel: %s: %w", w.Name, err)
 	}
-	out := make([]float64, len(run.KernelCycles))
-	for i, c := range run.KernelCycles {
-		out[i] = float64(c) * perturbation(w.Name, i)
+	return PerturbedRuntimes(w.Name, run.KernelCycles), nil
+}
+
+// PerturbedRuntimes scales a silicon-configured run's per-kernel cycle
+// counts by the oracle's deterministic perturbations, turning any GCN3
+// execution under SiliconConfig into "measured hardware" runtimes. The
+// experiment engine uses this to fold oracle measurements into a parallel
+// job set instead of running them through a private simulator.
+func PerturbedRuntimes(name string, kernelCycles []uint64) []float64 {
+	out := make([]float64, len(kernelCycles))
+	for i, c := range kernelCycles {
+		out[i] = float64(c) * perturbation(name, i)
 	}
-	return out, nil
+	return out
 }

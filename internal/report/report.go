@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"ilsim/internal/core"
+	"ilsim/internal/exp"
 	"ilsim/internal/hwmodel"
 	"ilsim/internal/isa"
 	"ilsim/internal/stats"
@@ -32,48 +33,50 @@ type Results struct {
 }
 
 // Collect runs the whole suite under both abstractions, verifying outputs.
-// When withHW is set it also measures the hardware oracle.
+// When withHW is set it also measures the hardware oracle. Jobs execute on
+// a default experiment engine (GOMAXPROCS workers).
 func Collect(cfg core.Config, scale int, withHW bool) (*Results, error) {
-	sim, err := core.NewSimulator(cfg)
+	return CollectParallel(exp.New(0), cfg, scale, withHW)
+}
+
+// CollectParallel runs the whole suite through the given experiment engine:
+// per workload, HSAIL and GCN3 runs on cfg plus (optionally) the hardware
+// oracle's silicon-configured run — one flat job set the engine spreads
+// over its worker pool, with instance preparation shared between the three
+// runs of each workload. Results are assembled in Table 5 order.
+func CollectParallel(eng *exp.Engine, cfg core.Config, scale int, withHW bool) (*Results, error) {
+	opts := core.RunOptions{TrackValues: true, ValueSampleEvery: 4, TrackReuse: true}
+	all := workloads.All()
+	perWL := 2
+	if withHW {
+		perWL = 3
+	}
+	jobs := make([]exp.Job, 0, perWL*len(all))
+	for _, w := range all {
+		jobs = append(jobs,
+			exp.Job{Workload: w.Name, Scale: scale, Abs: core.AbsHSAIL, Config: cfg, Opts: opts},
+			exp.Job{Workload: w.Name, Scale: scale, Abs: core.AbsGCN3, Config: cfg, Opts: opts})
+		if withHW {
+			jobs = append(jobs, exp.Job{Label: "hw-oracle", Workload: w.Name,
+				Scale: scale, Abs: core.AbsGCN3, Config: hwmodel.SiliconConfig()})
+		}
+	}
+	results, _, err := eng.Run(jobs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("report: %s: %w", r.Job, r.Err)
+		}
 	}
 	res := &Results{Runs: make(map[string]*Pair), HW: make(map[string][]float64), Scale: scale}
-	opts := core.RunOptions{TrackValues: true, ValueSampleEvery: 4, TrackReuse: true}
-	var oracle *hwmodel.Oracle
-	if withHW {
-		if oracle, err = hwmodel.New(); err != nil {
-			return nil, err
-		}
-	}
-	for _, w := range workloads.All() {
-		inst, err := w.Prepare(scale)
-		if err != nil {
-			return nil, fmt.Errorf("report: %s: %w", w.Name, err)
-		}
-		pair := &Pair{}
-		for _, abs := range []core.Abstraction{core.AbsHSAIL, core.AbsGCN3} {
-			run, m, err := sim.Run(abs, w.Name, inst.Setup, opts)
-			if err != nil {
-				return nil, fmt.Errorf("report: %s/%s: %w", w.Name, abs, err)
-			}
-			if err := inst.Check(m); err != nil {
-				return nil, fmt.Errorf("report: %s/%s: output check: %w", w.Name, abs, err)
-			}
-			if abs == core.AbsHSAIL {
-				pair.HSAIL = run
-			} else {
-				pair.GCN3 = run
-			}
-		}
+	for i, w := range all {
+		base := i * perWL
 		res.Order = append(res.Order, w.Name)
-		res.Runs[w.Name] = pair
+		res.Runs[w.Name] = &Pair{HSAIL: results[base].Run, GCN3: results[base+1].Run}
 		if withHW {
-			hw, err := oracle.KernelRuntimes(w, scale)
-			if err != nil {
-				return nil, err
-			}
-			res.HW[w.Name] = hw
+			res.HW[w.Name] = hwmodel.PerturbedRuntimes(w.Name, results[base+2].Run.KernelCycles)
 		}
 	}
 	return res, nil

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// HistogramItem is one (value, count) pair of a Histogram.
+type HistogramItem struct {
+	Value uint32
+	Count uint64
+}
+
+// Items returns the histogram's observations as (value, count) pairs in
+// ascending value order — a stable serialization of the distribution.
+func (h *Histogram) Items() []HistogramItem {
+	items := make([]HistogramItem, 0, len(h.counts))
+	for v, c := range h.counts {
+		items = append(items, HistogramItem{Value: v, Count: c})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Value < items[j].Value })
+	return items
+}
+
+// Fingerprint serializes every statistic of the run into a stable byte
+// string: two runs are behaviorally identical iff their fingerprints are
+// byte-identical. The experiment engine's determinism tests compare
+// fingerprints across worker counts to prove that concurrent execution
+// cannot perturb simulation results.
+func (r *Run) Fingerprint() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s/%s\n", r.Workload, r.Abstraction)
+	fmt.Fprintf(&b, "cycles=%d launches=%d\n", r.Cycles, r.KernelLaunches)
+	fmt.Fprintf(&b, "kernelCycles=%v\n", r.KernelCycles)
+	fmt.Fprintf(&b, "insts=%v\n", r.InstsByCategory)
+	fmt.Fprintf(&b, "vrf=%d/%d ib=%d/%d\n",
+		r.VRFBankConflicts, r.VRFAccesses, r.IBFlushes, r.Redirects)
+	fmt.Fprintf(&b, "code=%d data=%d\n", r.CodeFootprintBytes, r.DataFootprintBytes)
+	fmt.Fprintf(&b, "valu=%d/%d\n", r.VALUActiveLanes, r.VALUInsts)
+	fmt.Fprintf(&b, "uniq=%d/%d %d/%d\n",
+		r.ReadUnique, r.ReadLanes, r.WriteUnique, r.WriteLanes)
+	fmt.Fprintf(&b, "reuse=%v\n", r.Reuse.Items())
+	fmt.Fprintf(&b, "l1d=%d/%d l1i=%d/%d l2=%d/%d sl1=%d/%d stall=%d\n",
+		r.L1DMisses, r.L1DAccesses, r.L1IMisses, r.L1IAccesses,
+		r.L2Misses, r.L2Accesses, r.ScalarL1Misses, r.ScalarL1Accesses,
+		r.FetchStallCycles)
+	return b.Bytes()
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleRun() *Run {
+	r := &Run{
+		Workload: "W", Abstraction: "GCN3",
+		Cycles: 123, KernelLaunches: 2,
+		KernelCycles:     []uint64{60, 63},
+		VRFBankConflicts: 7, VRFAccesses: 90,
+		IBFlushes: 3, Redirects: 5,
+		CodeFootprintBytes: 1024, DataFootprintBytes: 4096,
+		VALUActiveLanes: 640, VALUInsts: 10,
+		ReadLanes: 64, ReadUnique: 8, WriteLanes: 32, WriteUnique: 4,
+		L1DAccesses: 100, L1DMisses: 10,
+	}
+	r.InstsByCategory[0] = 11
+	for _, v := range []uint32{9, 3, 3, 100, 1} {
+		r.Reuse.Add(v)
+	}
+	return r
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := sampleRun(), sampleRun()
+	if !bytes.Equal(a.Fingerprint(), b.Fingerprint()) {
+		t.Fatalf("identical runs produced different fingerprints:\n%s\n%s",
+			a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := sampleRun()
+	mutants := []func(*Run){
+		func(r *Run) { r.Cycles++ },
+		func(r *Run) { r.InstsByCategory[1]++ },
+		func(r *Run) { r.VRFBankConflicts++ },
+		func(r *Run) { r.Reuse.Add(77) },
+		func(r *Run) { r.KernelCycles[1]++ },
+		func(r *Run) { r.DataFootprintBytes++ },
+	}
+	for i, mutate := range mutants {
+		m := sampleRun()
+		mutate(m)
+		if bytes.Equal(base.Fingerprint(), m.Fingerprint()) {
+			t.Errorf("mutant %d not distinguished by fingerprint", i)
+		}
+	}
+}
+
+func TestHistogramItemsSorted(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint32{5, 1, 5, 3, 1, 1} {
+		h.Add(v)
+	}
+	items := h.Items()
+	want := []HistogramItem{{1, 3}, {3, 1}, {5, 2}}
+	if len(items) != len(want) {
+		t.Fatalf("got %d items, want %d", len(items), len(want))
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Errorf("item %d = %+v, want %+v", i, items[i], want[i])
+		}
+	}
+}

@@ -61,20 +61,25 @@ func prepareArrayBW(scale int) (*Instance, error) {
 		input[i] = uint32(r.Intn(48))
 	}
 
-	var in, out buf
+	type bufs struct{ in, out buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{ks}}
 	inst.Setup = func(m *core.Machine) error {
-		in = allocU32(m, input)
-		out = allocU32(m, make([]uint32, grid))
-		return m.Submit(launch1D(ks, grid, 64, in.addr, out.addr, uint64(iters)))
+		s := bufs{in: allocU32(m, input), out: allocU32(m, make([]uint32, grid))}
+		state.put(m, s)
+		return m.Submit(launch1D(ks, grid, 64, s.in.addr, s.out.addr, uint64(iters)))
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < grid; i++ {
 			want := uint32(0)
 			for k := 0; k < iters; k++ {
 				want += input[i+k*grid]
 			}
-			if got := out.u32(m, i); got != want {
+			if got := s.out.u32(m, i); got != want {
 				return fmt.Errorf("ArrayBW: out[%d] = %d, want %d", i, got, want)
 			}
 		}

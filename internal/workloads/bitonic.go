@@ -146,10 +146,12 @@ func prepareBitonic(scale int) (*Instance, error) {
 		input[i] = r.Uint32() >> 8
 	}
 
-	var data buf
+	type bufs struct{ data buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{global, local}}
 	inst.Setup = func(m *core.Machine) error {
-		data = allocU32(m, input)
+		data := allocU32(m, input)
+		state.put(m, bufs{data: data})
 		for k := 2; k <= n; k *= 2 {
 			j := k / 2
 			// Cross-workgroup spans: one global compare-exchange each.
@@ -167,10 +169,14 @@ func prepareBitonic(scale int) (*Instance, error) {
 		return nil
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		want := append([]uint32(nil), input...)
 		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
 		for i := 0; i < n; i++ {
-			if got := data.u32(m, i); got != want[i] {
+			if got := s.data.u32(m, i); got != want[i] {
 				return fmt.Errorf("BitonicSort: data[%d] = %d, want %d", i, got, want[i])
 			}
 		}

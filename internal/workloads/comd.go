@@ -107,19 +107,25 @@ func prepareCoMD(scale int) (*Instance, error) {
 	}
 	nbrPtr[atoms] = uint32(len(nbrs))
 
-	var posB, npB, nbB, fB buf
+	type bufs struct{ force buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{ks}}
 	inst.Setup = func(m *core.Machine) error {
-		posB = allocF32(m, pos)
-		npB = allocU32(m, nbrPtr)
-		nbB = allocU32(m, nbrs)
-		fB = allocF32(m, make([]float32, 3*atoms))
+		posB := allocF32(m, pos)
+		npB := allocU32(m, nbrPtr)
+		nbB := allocU32(m, nbrs)
+		fB := allocF32(m, make([]float32, 3*atoms))
+		state.put(m, bufs{force: fB})
 		return m.Submit(launch1D(ks, atoms, 64, posB.addr, npB.addr, nbB.addr, fB.addr))
 	}
 	fma32 := func(a, b, c float32) float32 {
 		return float32(math.FMA(float64(a), float64(b), float64(c)))
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < atoms; i++ {
 			var fx, fy, fz float32
 			for k := nbrPtr[i]; k < nbrPtr[i+1]; k++ {
@@ -137,7 +143,7 @@ func prepareCoMD(scale int) (*Instance, error) {
 				}
 			}
 			for c, want := range []float32{fx, fy, fz} {
-				if err := checkClose("CoMD", 3*i+c, float64(fB.f32(m, 3*i+c)), float64(want), 2e-4); err != nil {
+				if err := checkClose("CoMD", 3*i+c, float64(s.force.f32(m, 3*i+c)), float64(want), 2e-4); err != nil {
 					return err
 				}
 			}

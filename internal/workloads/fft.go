@@ -128,12 +128,14 @@ func prepareFFT(scale int) (*Instance, error) {
 		input[i] = float32(r.Intn(256))/16 - 8
 	}
 
-	var inB, outB, magB buf
+	type bufs struct{ out buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{ks}}
 	inst.Setup = func(m *core.Machine) error {
-		inB = allocF32(m, input)
-		outB = allocF32(m, make([]float32, 2*n))
-		magB = allocF32(m, make([]float32, grid*fftPasses))
+		inB := allocF32(m, input)
+		outB := allocF32(m, make([]float32, 2*n))
+		magB := allocF32(m, make([]float32, grid*fftPasses))
+		state.put(m, bufs{out: outB})
 		for p := 0; p < fftPasses; p++ {
 			byteOff := uint64(p * grid * fftPoints * 8)
 			if err := m.Submit(launch1D(ks, grid, 64,
@@ -144,6 +146,10 @@ func prepareFFT(scale int) (*Instance, error) {
 		return nil
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		// Verify against a direct DFT with loose tolerance (different
 		// summation order).
 		for w := 0; w < grid*fftPasses; w += 37 { // sample work-items
@@ -160,8 +166,8 @@ func prepareFFT(scale int) (*Instance, error) {
 				theta := fftRotate * fftRotateRounds
 				rr := wr*math.Cos(theta) - wi*math.Sin(theta)
 				ri := wr*math.Sin(theta) + wi*math.Cos(theta)
-				gotR := float64(outB.f32(m, w*2*fftPoints+2*k))
-				gotI := float64(outB.f32(m, w*2*fftPoints+2*k+1))
+				gotR := float64(s.out.f32(m, w*2*fftPoints+2*k))
+				gotI := float64(s.out.f32(m, w*2*fftPoints+2*k+1))
 				if err := checkClose("FFT.re", w*fftPoints+k, gotR, rr, 1e-3); err != nil {
 					return err
 				}

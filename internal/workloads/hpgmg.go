@@ -118,12 +118,14 @@ func prepareHPGMG(scale int) (*Instance, error) {
 		}
 	}
 
-	var fine, tmp, coarse buf
+	type bufs struct{ tmp buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{smooth, restr}}
 	inst.Setup = func(m *core.Machine) error {
-		fine = allocF64(m, input)
-		tmp = allocF64(m, make([]float64, n*n))
-		coarse = allocF64(m, make([]float64, n*n/4))
+		fine := allocF64(m, input)
+		tmp := allocF64(m, make([]float64, n*n))
+		coarse := allocF64(m, make([]float64, n*n/4))
+		state.put(m, bufs{tmp: tmp})
 		// V-cycle fragment: smooth, smooth, restrict, smooth (coarse).
 		if err := m.Submit(launch2D(smooth, n, fine.addr, tmp.addr, uint64(n))); err != nil {
 			return err
@@ -137,6 +139,10 @@ func prepareHPGMG(scale int) (*Instance, error) {
 		return m.Submit(launch2D(smooth, n/2, coarse.addr, tmp.addr, uint64(n/2)))
 	}
 	inst.Check = func(m *core.Machine) error {
+		st, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		smoothHost := func(in []float64, n int) []float64 {
 			out := make([]float64, n*n)
 			cl := func(v, max int) int {
@@ -169,7 +175,7 @@ func prepareHPGMG(scale int) (*Instance, error) {
 		}
 		s3 := smoothHost(co, nc)
 		for i := 0; i < nc*nc; i += 3 {
-			if err := checkClose("HPGMG", i, tmp.f64(m, i), s3[i], 1e-12); err != nil {
+			if err := checkClose("HPGMG", i, st.tmp.f64(m, i), s3[i], 1e-12); err != nil {
 				return err
 			}
 		}

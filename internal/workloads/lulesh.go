@@ -124,15 +124,17 @@ func prepareLULESH(scale int) (*Instance, error) {
 		bv[i] = float64(r.Intn(24))/4 - 3
 	}
 
-	var aB, bB buf
-	outs := make([]buf, luleshKernels)
+	type bufs struct{ outs []buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: kernels}
 	inst.Setup = func(m *core.Machine) error {
-		aB = allocF64(m, a)
-		bB = allocF64(m, bv)
+		aB := allocF64(m, a)
+		bB := allocF64(m, bv)
+		outs := make([]buf, luleshKernels)
 		for k := range outs {
 			outs[k] = allocF64(m, make([]float64, grid))
 		}
+		state.put(m, bufs{outs: outs})
 		// Many dynamic launches: every timestep dispatches all 27 kernels.
 		for t := 0; t < timesteps; t++ {
 			for k, ks := range kernels {
@@ -144,10 +146,14 @@ func prepareLULESH(scale int) (*Instance, error) {
 		return nil
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		for k := 0; k < luleshKernels; k++ {
 			for i := 0; i < grid; i += 7 {
 				want := luleshHost(k, a[i], bv[i])
-				if err := checkClose(fmt.Sprintf("LULESH.k%d", k), i, outs[k].f64(m, i), want, 1e-10); err != nil {
+				if err := checkClose(fmt.Sprintf("LULESH.k%d", k), i, s.outs[k].f64(m, i), want, 1e-10); err != nil {
 					return err
 				}
 			}

@@ -85,14 +85,20 @@ func prepareMD(scale int) (*Instance, error) {
 		q[i] = float64(r.Intn(64))/32 - 1
 	}
 
-	var xB, yB, zB, qB, fB buf
+	type bufs struct{ force buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{ks}}
 	inst.Setup = func(m *core.Machine) error {
-		xB, yB, zB, qB = allocF64(m, x), allocF64(m, y), allocF64(m, z), allocF64(m, q)
-		fB = allocF64(m, make([]float64, 3*atoms))
+		xB, yB, zB, qB := allocF64(m, x), allocF64(m, y), allocF64(m, z), allocF64(m, q)
+		fB := allocF64(m, make([]float64, 3*atoms))
+		state.put(m, bufs{force: fB})
 		return m.Submit(launch1D(ks, atoms, 64, xB.addr, yB.addr, zB.addr, qB.addr, fB.addr, uint64(atoms)))
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < atoms; i += 5 {
 			var fx, fy, fz float64
 			for j := 0; j < atoms; j++ {
@@ -103,7 +109,7 @@ func prepareMD(scale int) (*Instance, error) {
 				fy = math.FMA(s, dy, fy)
 				fz = math.FMA(s, dz, fz)
 			}
-			got := []float64{fB.f64(m, 3*i), fB.f64(m, 3*i+1), fB.f64(m, 3*i+2)}
+			got := []float64{s.force.f64(m, 3*i), s.force.f64(m, 3*i+1), s.force.f64(m, 3*i+2)}
 			for c, want := range []float64{fx, fy, fz} {
 				if err := checkClose("MD", 3*i+c, got[c], want, 1e-9); err != nil {
 					return err

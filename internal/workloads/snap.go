@@ -77,21 +77,27 @@ func prepareSNAP(scale int) (*Instance, error) {
 		sigt[i] = float64(r.Intn(256)) / 64
 	}
 
-	var muB, wB, qB, sB, fB buf
+	type bufs struct{ flux buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{ks}}
 	inst.Setup = func(m *core.Machine) error {
-		muB, wB = allocF64(m, mus), allocF64(m, wts)
-		qB, sB = allocF64(m, qext), allocF64(m, sigt)
-		fB = allocF64(m, make([]float64, angles*ncells))
+		muB, wB := allocF64(m, mus), allocF64(m, wts)
+		qB, sB := allocF64(m, qext), allocF64(m, sigt)
+		fB := allocF64(m, make([]float64, angles*ncells))
+		state.put(m, bufs{flux: fB})
 		return m.Submit(launch1D(ks, angles, 64, muB.addr, wB.addr, qB.addr, sB.addr, fB.addr, uint64(ncells)))
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		for a := 0; a < angles; a += 9 {
 			psi := 1.0
 			for c := 0; c < ncells; c++ {
 				psi = math.FMA(mus[a], psi, qext[c]) / (sigt[c] + 1)
 				want := wts[a] * psi
-				if err := checkClose("SNAP", a*ncells+c, fB.f64(m, a*ncells+c), want, 1e-10); err != nil {
+				if err := checkClose("SNAP", a*ncells+c, s.flux.f64(m, a*ncells+c), want, 1e-10); err != nil {
 					return err
 				}
 			}

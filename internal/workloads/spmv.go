@@ -80,23 +80,29 @@ func prepareSpMV(scale int) (*Instance, error) {
 		x[i] = float32(r.Intn(128)) / 16
 	}
 
-	var rp, cl, vl, xb, yb buf
+	type bufs struct{ y buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{ks}}
 	inst.Setup = func(m *core.Machine) error {
-		rp = allocU32(m, rowPtr)
-		cl = allocU32(m, cols)
-		vl = allocF32(m, vals)
-		xb = allocF32(m, x)
-		yb = allocF32(m, make([]float32, rows))
+		rp := allocU32(m, rowPtr)
+		cl := allocU32(m, cols)
+		vl := allocF32(m, vals)
+		xb := allocF32(m, x)
+		yb := allocF32(m, make([]float32, rows))
+		state.put(m, bufs{y: yb})
 		return m.Submit(launch1D(ks, rows, 64, rp.addr, cl.addr, vl.addr, xb.addr, yb.addr))
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < rows; i++ {
 			want := float32(0)
 			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
 				want += vals[k] * x[cols[k]]
 			}
-			if err := checkClose("SpMV", i, float64(yb.f32(m, i)), float64(want), 1e-4); err != nil {
+			if err := checkClose("SpMV", i, float64(s.y.f32(m, i)), float64(want), 1e-4); err != nil {
 				return err
 			}
 		}

@@ -3,11 +3,30 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ilsim/internal/core"
 	"ilsim/internal/isa"
 	"ilsim/internal/kernel"
 )
+
+// perMachine associates the buffers an Instance allocated during Setup with
+// the Machine they live on, so one prepared Instance can Setup and Check
+// any number of Machines concurrently (the contract the experiment engine's
+// instance cache depends on). Check consumes the entry so finished Machines
+// can be garbage-collected; call Check at most once per Setup.
+type perMachine[T any] struct{ m sync.Map }
+
+func (p *perMachine[T]) put(m *core.Machine, v T) { p.m.Store(m, v) }
+
+func (p *perMachine[T]) take(m *core.Machine) (T, error) {
+	v, ok := p.m.LoadAndDelete(m)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("workloads: Check on a machine this instance did not Setup (or Check ran twice)")
+	}
+	return v.(T), nil
+}
 
 func mathFloat32bits(f float32) uint32 { return math.Float32bits(f) }
 

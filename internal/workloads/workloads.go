@@ -28,6 +28,13 @@ import (
 // Instance is a prepared workload run: Setup allocates and initializes
 // buffers on a machine and submits every launch; Check verifies outputs
 // after the run.
+//
+// One prepared Instance may drive any number of Machines CONCURRENTLY:
+// Setup and Check only read the shared input data and keep all per-run
+// state (buffer addresses) keyed by the Machine. This is the contract the
+// experiment engine's instance cache relies on to prepare each (workload,
+// scale) once per sweep. Check consumes the per-machine state, so call it
+// at most once per Setup on a given machine.
 type Instance struct {
 	Setup func(m *core.Machine) error
 	Check func(m *core.Machine) error

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"sync"
 	"testing"
 
 	"ilsim/internal/core"
@@ -32,6 +33,50 @@ func TestAllWorkloadsFunctional(t *testing.T) {
 				}
 				if run.TotalInsts() == 0 {
 					t.Fatalf("%s: no instructions executed", abs)
+				}
+			}
+		})
+	}
+}
+
+// TestInstanceConcurrentReuse proves the Instance contract the experiment
+// engine's cache depends on: one prepared instance's Setup and Check can
+// drive several Machines in parallel (here one per abstraction) without
+// cross-talk. Run under -race this is the reuse-safety gate for every
+// registered workload.
+func TestInstanceConcurrentReuse(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst, err := w.Prepare(1)
+			if err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			abss := []core.Abstraction{core.AbsHSAIL, core.AbsGCN3}
+			errs := make([]error, len(abss))
+			var wg sync.WaitGroup
+			for i, abs := range abss {
+				i, abs := i, abs
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					run := &stats.Run{Workload: w.Name}
+					m := core.NewMachine(abs, run)
+					if err := inst.Setup(m); err != nil {
+						errs[i] = err
+						return
+					}
+					if err := m.RunFunctional(); err != nil {
+						errs[i] = err
+						return
+					}
+					errs[i] = inst.Check(m)
+				}()
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("%s: %v", abss[i], err)
 				}
 			}
 		})

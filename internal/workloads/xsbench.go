@@ -111,19 +111,25 @@ func prepareXSBench(scale int) (*Instance, error) {
 		}
 	}
 
-	var egB, outB buf
-	var xsB [4]buf
+	type bufs struct{ out buf }
+	var state perMachine[bufs]
 	inst := &Instance{Kernels: []*core.KernelSource{ks}}
 	inst.Setup = func(m *core.Machine) error {
-		egB = allocF32(m, eg)
+		egB := allocF32(m, eg)
+		var xsB [4]buf
 		for t := range tables {
 			xsB[t] = allocF32(m, tables[t])
 		}
-		outB = allocF32(m, make([]float32, grid))
+		outB := allocF32(m, make([]float32, grid))
+		state.put(m, bufs{out: outB})
 		return m.Submit(launch1D(ks, grid, 64,
 			egB.addr, xsB[0].addr, xsB[1].addr, xsB[2].addr, xsB[3].addr, outB.addr, uint64(gridPts)))
 	}
 	inst.Check = func(m *core.Machine) error {
+		s, err := state.take(m)
+		if err != nil {
+			return err
+		}
 		for g := 0; g < grid; g++ {
 			seed := uint32(g)*2654435761 + 12345
 			nl := int(seed>>4&7) + 2
@@ -144,7 +150,7 @@ func prepareXSBench(scale int) (*Instance, error) {
 					acc += tables[0][lo]
 				}
 			}
-			if err := checkClose("XSBench", g, float64(outB.f32(m, g)), float64(acc), 1e-5); err != nil {
+			if err := checkClose("XSBench", g, float64(s.out.f32(m, g)), float64(acc), 1e-5); err != nil {
 				return err
 			}
 		}
