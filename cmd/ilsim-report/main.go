@@ -1,9 +1,15 @@
 // Command ilsim-report regenerates every table and figure of the paper's
 // evaluation section and writes the results as markdown.
 //
+// The full suite at evaluation scale is the repository's longest campaign;
+// -journal checkpoints every completed run so a killed regeneration
+// resumes with -resume instead of restarting from zero.
+//
 // Usage:
 //
 //	ilsim-report [-scale N] [-hw=false] [-exp fig5] [-o EXPERIMENTS.md] [-j 8]
+//	ilsim-report -journal report.jsonl            # checkpoint as it goes
+//	ilsim-report -journal report.jsonl -resume    # continue after a kill
 package main
 
 import (
@@ -23,10 +29,31 @@ func main() {
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also export per-figure CSV files to this directory")
 	workers := flag.Int("j", 0, "max parallel simulation jobs (0 = GOMAXPROCS)")
+	journalPath := flag.String("journal", "", "checkpoint completed suite jobs to this JSONL file")
+	resume := flag.Bool("resume", false, "reuse an existing -journal file, re-running only unfinished jobs")
 	flag.Parse()
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "ilsim-report: -resume requires -journal")
+		os.Exit(2)
+	}
 
 	cfg := core.DefaultConfig()
-	res, err := report.CollectParallel(exp.New(*workers), cfg, *scale, *withHW)
+	eng := exp.New(*workers)
+	if *journalPath != "" {
+		jobs := report.SuiteJobs(cfg, *scale, *withHW)
+		j, err := exp.OpenJournal(*journalPath, jobs, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilsim-report:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if n := j.Resumable(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d of %d jobs already journaled in %s\n",
+				n, len(jobs), *journalPath)
+		}
+		eng.Journal = j
+	}
+	res, err := report.CollectParallel(eng, cfg, *scale, *withHW)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ilsim-report:", err)
 		os.Exit(1)

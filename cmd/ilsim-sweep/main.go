@@ -5,6 +5,11 @@
 // engine's worker pool; results print in design-point order regardless of
 // completion order.
 //
+// Long campaigns are fault-tolerant: per-job timeouts and cycle budgets
+// kill runaways, transient failures retry with backoff, and -journal
+// checkpoints every completed job so an interrupted sweep resumes with
+// -resume instead of restarting.
+//
 // Usage:
 //
 //	ilsim-sweep -param banks  -workload ArrayBW   # VRF bank count
@@ -13,9 +18,12 @@
 //	ilsim-sweep -param l1i    -workload LULESH    # I-cache size
 //	ilsim-sweep -param cus    -workload SpMV      # machine scaling (CU count)
 //	ilsim-sweep -param banks -j 8 -v              # 8 workers, progress on stderr
+//	ilsim-sweep -param banks -journal s.jsonl     # checkpoint completed jobs
+//	ilsim-sweep -param banks -journal s.jsonl -resume   # continue after a kill
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,8 +42,8 @@ func main() {
 }
 
 // run parses args and executes the sweep, writing the result table to out
-// and (with -v) progress lines to errw. Split from main for the smoke
-// tests.
+// and (with -v) progress lines plus any failure summary to errw. Split
+// from main for the smoke tests.
 func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ilsim-sweep", flag.ContinueOnError)
 	fs.SetOutput(errw)
@@ -46,8 +54,16 @@ func run(args []string, out, errw io.Writer) error {
 	points := fs.Int("points", 0, "limit the sweep to its first N points (0 = all)")
 	failFast := fs.Bool("failfast", false, "abort the sweep on the first failed point (default: collect all)")
 	verbose := fs.Bool("v", false, "print per-job progress to stderr")
+	timeout := fs.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+	maxCycles := fs.Uint64("maxcycles", 0, "per-job simulated-cycle budget (0 = unlimited)")
+	retries := fs.Int("retries", 0, "retries per transiently failing job (exponential backoff)")
+	journalPath := fs.String("journal", "", "checkpoint completed jobs to this JSONL file")
+	resume := fs.Bool("resume", false, "reuse an existing -journal file, re-running only unfinished jobs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *journalPath == "" {
+		return errors.New("-resume requires -journal")
 	}
 
 	pts, err := exp.SweepPoints(*param)
@@ -57,17 +73,34 @@ func run(args []string, out, errw io.Writer) error {
 	if *points > 0 && *points < len(pts) {
 		pts = pts[:*points]
 	}
-	jobs := exp.PairJobs(*name, *scale, pts, core.RunOptions{})
+	jobs := exp.PairJobs(*name, *scale, pts, core.RunOptions{MaxCycles: *maxCycles})
+	if *timeout > 0 {
+		for i := range jobs {
+			jobs[i].Timeout = *timeout
+		}
+	}
 
 	eng := exp.New(*workers)
 	if *failFast {
 		eng.Mode = exp.FailFast
 	}
+	eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
+	if *journalPath != "" {
+		j, err := exp.OpenJournal(*journalPath, jobs, *resume)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if n := j.Resumable(); n > 0 {
+			fmt.Fprintf(errw, "resuming: %d of %d jobs already journaled in %s\n", n, len(jobs), *journalPath)
+		}
+		eng.Journal = j
+	}
 	if *verbose {
 		eng.OnProgress = func(p exp.Progress) {
 			status := "ok"
 			if p.Err != nil {
-				status = "FAIL: " + p.Err.Error()
+				status = fmt.Sprintf("FAIL [%s]: %s", exp.Classify(p.Err), p.Err)
 			}
 			fmt.Fprintf(errw, "[%d/%d] %-28s %8.2fs  %s\n",
 				p.Done, p.Total, p.Job, p.Wall.Seconds(), status)
@@ -81,16 +114,14 @@ func run(args []string, out, errw io.Writer) error {
 	fmt.Fprintf(out, "sweep %s on %s (scale %d)\n\n", *param, *name, *scale)
 	fmt.Fprintf(out, "%-12s %12s %12s %10s %12s %12s %10s\n",
 		"point", "HSAIL cyc", "GCN3 cyc", "H/G", "H conflicts", "G conflicts", "H flushes")
-	failed := 0
 	for i := 0; i < len(results); i += 2 {
 		h, g := results[i], results[i+1]
 		if h.Err != nil || g.Err != nil {
-			failed++
 			err := h.Err
 			if err == nil {
 				err = g.Err
 			}
-			fmt.Fprintf(out, "%-12s %s\n", h.Job.Label, "error: "+err.Error())
+			fmt.Fprintf(out, "%-12s error [%s]: %s\n", h.Job.Label, exp.Classify(err), err)
 			continue
 		}
 		fmt.Fprintf(out, "%-12s %12d %12d %10.2f %12d %12d %10d\n",
@@ -98,12 +129,19 @@ func run(args []string, out, errw io.Writer) error {
 			float64(h.Run.Cycles)/float64(g.Run.Cycles),
 			h.Run.VRFBankConflicts, g.Run.VRFBankConflicts, h.Run.IBFlushes)
 	}
-	fmt.Fprintf(out, "\n%d jobs in %.2fs (%.1f jobs/s, speedup %.2fx over serial)\n",
+	fmt.Fprintf(out, "\n%d jobs in %.2fs (%.1f jobs/s, speedup %.2fx over serial",
 		metrics.Jobs, metrics.Elapsed.Seconds(), metrics.Throughput(), metrics.Speedup())
+	if metrics.Resumed > 0 {
+		fmt.Fprintf(out, "; %d resumed from journal", metrics.Resumed)
+	}
+	if metrics.Retries > 0 {
+		fmt.Fprintf(out, "; %d retries", metrics.Retries)
+	}
+	fmt.Fprintln(out, ")")
 	fmt.Fprintln(out, "\nNote how the HSAIL/GCN3 gap itself moves with the design point —")
 	fmt.Fprintln(out, "the paper's argument that no fixed fudge-factor can correct IL simulation.")
-	if failed > 0 {
-		return fmt.Errorf("%d of %d points failed", failed, len(results)/2)
+	if failed := exp.WriteFailureSummary(errw, results); failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, len(results))
 	}
 	return nil
 }

@@ -48,6 +48,8 @@ func run(args []string, out, errw io.Writer) error {
 	list := fs.Bool("list", false, "list workloads and exit")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text (single workload)")
 	workers := fs.Int("j", 0, "max parallel jobs (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+	maxCycles := fs.Uint64("maxcycles", 0, "per-job simulated-cycle budget (0 = unlimited)")
 	cus := fs.Int("cus", 0, "override the number of compute units")
 	banks := fs.Int("banks", 0, "override the VRF bank count")
 	wfSlots := fs.Int("wfslots", 0, "override wavefront slots per CU")
@@ -81,7 +83,8 @@ func run(args []string, out, errw io.Writer) error {
 	if *l1iKB > 0 {
 		cfg.L1ISize = *l1iKB << 10
 	}
-	opts := core.RunOptions{TrackValues: *values, ValueSampleEvery: 4, TrackReuse: *reuse}
+	opts := core.RunOptions{TrackValues: *values, ValueSampleEvery: 4, TrackReuse: *reuse,
+		MaxCycles: *maxCycles}
 
 	var targets []core.Abstraction
 	switch *abs {
@@ -98,18 +101,29 @@ func run(args []string, out, errw io.Writer) error {
 	var jobs []exp.Job
 	for _, n := range names {
 		for _, a := range targets {
-			jobs = append(jobs, exp.Job{Workload: n, Scale: *scale, Abs: a, Config: cfg, Opts: opts})
+			jobs = append(jobs, exp.Job{Workload: n, Scale: *scale, Abs: a, Config: cfg,
+				Opts: opts, Timeout: *timeout})
 		}
 	}
 	eng := exp.New(*workers)
-	eng.Mode = exp.FailFast
+	if len(names) == 1 {
+		// Single workload: the detailed view needs every run, so abort on
+		// the first failure.
+		eng.Mode = exp.FailFast
+	}
 	results, _, err := eng.Run(jobs)
 	if err != nil {
 		return err
 	}
 
 	if len(names) > 1 {
+		// Suite table: collect-all, so one broken workload cannot take
+		// down the comparison — but a run with failures must still be
+		// loudly distinguishable from a clean one.
 		printTable(out, names, targets, results)
+		if failed := exp.WriteFailureSummary(errw, results); failed > 0 {
+			return fmt.Errorf("%d of %d jobs failed", failed, len(jobs))
+		}
 		return nil
 	}
 
@@ -174,7 +188,16 @@ func printTable(out io.Writer, names []string, targets []core.Abstraction, resul
 		fmt.Fprintf(out, "%-12s %12s %12s %7s %10s %10s %7s %7s %7s\n",
 			"workload", "HSAIL cyc", "GCN3 cyc", "H/G", "H insts", "G insts", "G/H", "H util", "G util")
 		for i, n := range names {
-			h, g := results[2*i].Run, results[2*i+1].Run
+			hr, gr := results[2*i], results[2*i+1]
+			if hr.Err != nil || gr.Err != nil {
+				err := hr.Err
+				if err == nil {
+					err = gr.Err
+				}
+				fmt.Fprintf(out, "%-12s error [%s]: %s\n", n, exp.Classify(err), err)
+				continue
+			}
+			h, g := hr.Run, gr.Run
 			fmt.Fprintf(out, "%-12s %12d %12d %7.2f %10d %10d %7.2f %6.0f%% %6.0f%%\n",
 				n, h.Cycles, g.Cycles, float64(h.Cycles)/float64(g.Cycles),
 				h.TotalInsts(), g.TotalInsts(),
@@ -186,6 +209,11 @@ func printTable(out io.Writer, names []string, targets []core.Abstraction, resul
 	fmt.Fprintf(out, "%-12s %-6s %12s %10s %7s %7s\n",
 		"workload", "abs", "cycles", "insts", "IPC", "util")
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(out, "%-12s %-6s error [%s]: %s\n",
+				r.Job.Workload, r.Job.Abs, exp.Classify(r.Err), r.Err)
+			continue
+		}
 		fmt.Fprintf(out, "%-12s %-6s %12d %10d %7.3f %6.0f%%\n",
 			r.Job.Workload, r.Job.Abs, r.Run.Cycles, r.Run.TotalInsts(),
 			r.Run.IPC(), 100*r.Run.SIMDUtilization())

@@ -1,13 +1,20 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ilsim/internal/stats"
 	"ilsim/internal/timing"
 )
 
-// RunOptions control optional (more expensive) statistics.
+// ErrBudgetExceeded marks a run killed by its cycle or instruction budget
+// (RunOptions.MaxCycles / MaxInsts); errors.Is-compatible with the timing
+// layer's sentinel.
+var ErrBudgetExceeded = timing.ErrBudgetExceeded
+
+// RunOptions control optional (more expensive) statistics and the run's
+// safety bounds.
 type RunOptions struct {
 	// TrackValues enables VRF lane-value uniqueness sampling (Fig 10).
 	TrackValues bool
@@ -15,6 +22,17 @@ type RunOptions struct {
 	ValueSampleEvery int
 	// TrackReuse enables register reuse-distance tracking (Fig 7).
 	TrackReuse bool
+
+	// MaxCycles bounds the run's total simulated cycles (0 = unlimited);
+	// exceeding it aborts with ErrBudgetExceeded. This is the defense
+	// against livelocked or runaway simulations: the budget is enforced
+	// inside the timing loop, not just between kernels.
+	MaxCycles uint64
+	// MaxInsts bounds committed wavefront instructions (0 = unlimited).
+	MaxInsts uint64
+	// CheckEvery is the watchdog poll period in simulated cycles
+	// (0 = timing.DefaultCheckEvery).
+	CheckEvery int
 }
 
 // Simulator runs workloads on the timed GPU model under either abstraction.
@@ -54,6 +72,14 @@ func (s *Simulator) params() timing.Params {
 // setup prepares kernels and buffers on the machine and submits every
 // launch; Run then drains the queue through the packet processor and GPU.
 func (s *Simulator) Run(abs Abstraction, workload string, setup func(m *Machine) error, opts RunOptions) (*stats.Run, *Machine, error) {
+	return s.RunContext(context.Background(), abs, workload, setup, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the timing loop polls
+// ctx (and the opts budgets) every opts.CheckEvery cycles, so canceling the
+// context — a per-job timeout, a ctrl-C, a fail-fast sweep — stops a
+// simulation mid-kernel instead of only between jobs.
+func (s *Simulator) RunContext(ctx context.Context, abs Abstraction, workload string, setup func(m *Machine) error, opts RunOptions) (*stats.Run, *Machine, error) {
 	run := &stats.Run{Workload: workload, Abstraction: abs.String()}
 	m := NewMachine(abs, run)
 	m.Col.TrackValues = opts.TrackValues
@@ -63,7 +89,19 @@ func (s *Simulator) Run(abs Abstraction, workload string, setup func(m *Machine)
 		return nil, nil, fmt.Errorf("core: %s/%s setup: %w", workload, abs, err)
 	}
 	gpu := timing.NewGPU(s.params(), run)
+	wd := timing.Watchdog{
+		MaxCycles:  int64(opts.MaxCycles),
+		MaxInsts:   opts.MaxInsts,
+		CheckEvery: int64(opts.CheckEvery),
+	}
+	if ctx != nil && ctx.Done() != nil {
+		wd.Ctx = ctx
+	}
+	gpu.WD = wd
 	for {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, nil, fmt.Errorf("core: %s/%s: run canceled: %w", workload, abs, context.Cause(ctx))
+		}
 		d, eng, err := m.NextDispatch()
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: %s/%s dispatch: %w", workload, abs, err)

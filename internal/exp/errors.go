@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ilsim/internal/core"
+)
+
+// ErrBudgetExceeded marks a job killed by its cycle or instruction budget
+// (core.RunOptions.MaxCycles / MaxInsts); errors.Is-compatible with the
+// core and timing sentinels.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// Class is the engine's error taxonomy. Every job failure classifies into
+// exactly one class; the retry policy uses it to decide what is worth
+// re-executing, the journal records it, and the CLIs print it next to each
+// failed job.
+type Class int
+
+const (
+	// ClassOK is the classification of a nil error.
+	ClassOK Class = iota
+	// ClassTransient marks failures worth retrying (explicitly wrapped
+	// with Transient, or implementing `Transient() bool`).
+	ClassTransient
+	// ClassPermanent marks deterministic failures: bad configs, unknown
+	// workloads, output-check mismatches. Retrying cannot help.
+	ClassPermanent
+	// ClassCanceled marks jobs stopped by cancellation: fail-fast
+	// shedding, a canceled RunContext, or ctrl-C.
+	ClassCanceled
+	// ClassTimeout marks jobs killed by their wall-clock Timeout.
+	ClassTimeout
+	// ClassBudget marks jobs killed by a cycle/instruction budget — the
+	// runaway/livelock defense.
+	ClassBudget
+	// ClassPanic marks jobs whose worker recovered a panic.
+	ClassPanic
+)
+
+// String names the class for summaries and journal entries.
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	case ClassCanceled:
+		return "canceled"
+	case ClassTimeout:
+		return "timeout"
+	case ClassBudget:
+		return "budget-exceeded"
+	case ClassPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// transienter is the duck-typed transient marker (satisfied by
+// TransientError and by callers' own error types).
+type transienter interface{ Transient() bool }
+
+// Classify maps a job error onto the taxonomy. An explicit transient
+// wrapper wins over everything else so callers can force a retry class
+// onto, say, a timeout they know to be load-induced.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassOK
+	}
+	var tr transienter
+	if errors.As(err, &tr) && tr.Transient() {
+		return ClassTransient
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return ClassPanic
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		return ClassBudget
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ClassTimeout
+	}
+	if errors.Is(err, ErrCanceled) || errors.Is(err, context.Canceled) {
+		return ClassCanceled
+	}
+	return ClassPermanent
+}
+
+// IsTransient reports whether err classifies as retryable.
+func IsTransient(err error) bool { return Classify(err) == ClassTransient }
+
+// TransientError marks a failure as retryable. Construct with Transient.
+type TransientError struct{ Err error }
+
+// Transient wraps err as retryable (nil stays nil).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+func (e *TransientError) Error() string   { return "transient: " + e.Err.Error() }
+func (e *TransientError) Unwrap() error   { return e.Err }
+func (e *TransientError) Transient() bool { return true }
+
+// PanicError is a panic recovered inside a worker, converted into an
+// ordinary job failure so one crashing job cannot take down the sweep. It
+// carries the job label and the goroutine stack at the panic site.
+type PanicError struct {
+	// Job is the panicking job's String().
+	Job string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in job %s: %v", e.Job, e.Value)
+}

@@ -10,9 +10,13 @@ package exp
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -34,6 +38,11 @@ type Job struct {
 	// SkipCheck disables the workload's host-side output verification
 	// after the run.
 	SkipCheck bool
+	// Timeout bounds the job's wall-clock execution (0 = none). The
+	// simulator observes it cooperatively (core.RunOptions.CheckEvery),
+	// so an overrunning job dies mid-kernel with a timeout-classified
+	// error instead of holding its worker forever.
+	Timeout time.Duration
 }
 
 // String names the job for progress lines and errors.
@@ -45,6 +54,18 @@ func (j Job) String() string {
 	return s
 }
 
+// Fingerprint returns a short stable hash over every field that influences
+// the job's result — the identity the journal keys completed work by, in
+// the same spirit as stats.Run.Fingerprint() on the result side. Two jobs
+// with equal fingerprints would (determinism guarantee) produce
+// byte-identical runs.
+func (j Job) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%s|%v|%t|%+v|%+v",
+		j.Label, j.Workload, j.Scale, j.Abs, j.Timeout, j.SkipCheck, j.Config, j.Opts)
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
 // Result is one job's outcome. Results returned by Run are indexed exactly
 // like the submitted jobs.
 type Result struct {
@@ -52,6 +73,12 @@ type Result struct {
 	Run  *stats.Run
 	Err  error
 	Wall time.Duration
+	// Attempts counts executions this run, > 1 after transient retries
+	// (0 for resumed results, which did not execute at all).
+	Attempts int
+	// Resumed marks a result restored from the engine's journal instead
+	// of executed.
+	Resumed bool
 }
 
 // Progress is the snapshot passed to an engine's progress hook each time a
@@ -72,18 +99,24 @@ type Progress struct {
 type Metrics struct {
 	Jobs   int
 	Failed int
+	// Resumed counts jobs restored from the journal instead of executed.
+	Resumed int
+	// Retries counts extra executions spent on transient failures.
+	Retries int
 	// Elapsed is the wall time of the whole Run call; JobWall is the sum
-	// of per-job wall times (Elapsed × perfect speedup).
+	// of per-job wall times for jobs executed this run (resumed results
+	// are excluded so Speedup reflects work actually done).
 	Elapsed time.Duration
 	JobWall time.Duration
 }
 
-// Throughput returns completed jobs per second of engine wall time.
+// Throughput returns jobs completed this run per second of engine wall
+// time (resumed jobs did no work and are excluded).
 func (m Metrics) Throughput() float64 {
 	if m.Elapsed <= 0 {
 		return 0
 	}
-	return float64(m.Jobs-m.Failed) / m.Elapsed.Seconds()
+	return float64(m.Jobs-m.Failed-m.Resumed) / m.Elapsed.Seconds()
 }
 
 // Speedup returns the parallel speedup over serial execution of the same
@@ -108,12 +141,14 @@ const (
 )
 
 // ErrCanceled marks jobs skipped because a FailFast engine saw an earlier
-// failure.
+// failure or the Run context ended before they started.
 var ErrCanceled = errors.New("exp: job canceled after earlier failure")
 
-// Engine executes job sets. The zero value is not usable; construct with
-// New. An engine may run many job sets; its instance cache persists across
-// Run calls, so sweeps over the same workload reuse prepared kernels.
+// Engine executes job sets. The zero value is usable (CollectAll mode,
+// GOMAXPROCS workers, no retries); New is a convenience for setting the
+// pool size. An engine may run many job sets; its instance cache persists
+// across Run calls, so sweeps over the same workload reuse prepared
+// kernels.
 type Engine struct {
 	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
 	Workers int
@@ -122,8 +157,19 @@ type Engine struct {
 	// OnProgress, when non-nil, observes every job completion. Calls are
 	// serialized; keep the hook cheap (it is on the completion path).
 	OnProgress func(Progress)
+	// Retry governs re-execution of transiently failing jobs; the zero
+	// value never retries.
+	Retry RetryPolicy
+	// Journal, when non-nil, records every completed result and pre-fills
+	// results the journal already holds, so an interrupted campaign
+	// resumes instead of restarting (see OpenJournal).
+	Journal *Journal
+	// Faults, when non-nil, injects scheduled failures into matching jobs
+	// — test instrumentation for the fault-tolerance suite.
+	Faults *FaultPlan
 
-	cache *InstanceCache
+	cacheOnce sync.Once
+	cache     *InstanceCache
 }
 
 // New creates an engine with the given worker-pool bound (<= 0 means
@@ -139,11 +185,32 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// instances returns the engine's instance cache, lazily initializing it so
+// the zero-value Engine degrades gracefully instead of crashing in a
+// worker.
+func (e *Engine) instances() *InstanceCache {
+	e.cacheOnce.Do(func() {
+		if e.cache == nil {
+			e.cache = NewInstanceCache()
+		}
+	})
+	return e.cache
+}
+
 // Run executes the job set and returns one Result per job in submission
 // order, regardless of completion order, plus aggregate metrics. In
 // CollectAll mode the returned error is always nil and per-job errors live
 // in the Results; in FailFast mode the first job error is also returned.
 func (e *Engine) Run(jobs []Job) ([]Result, Metrics, error) {
+	return e.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run under a context: canceling parent stops the sweep —
+// in-flight simulations die at their next watchdog check, unstarted jobs
+// come back as ErrCanceled — regardless of Mode. With a Journal attached,
+// jobs the journal records as successfully completed are restored instead
+// of executed and every newly completed job is appended to it.
+func (e *Engine) RunContext(parent context.Context, jobs []Job) ([]Result, Metrics, error) {
 	start := time.Now()
 	results := make([]Result, len(jobs))
 	for i := range jobs {
@@ -152,21 +219,47 @@ func (e *Engine) Run(jobs []Job) ([]Result, Metrics, error) {
 	if len(jobs) == 0 {
 		return results, Metrics{}, nil
 	}
+	if parent == nil {
+		parent = context.Background()
+	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	// Resume: restore journaled completions, schedule only the rest.
+	pending := make([]int, 0, len(jobs))
+	resumed := 0
+	if e.Journal != nil {
+		if err := e.Journal.Bind(jobs); err != nil {
+			return results, Metrics{}, err
+		}
+		for i := range jobs {
+			if r, ok := e.Journal.Completed(i); ok {
+				results[i].Run, results[i].Wall, results[i].Resumed = r.Run, r.Wall, true
+				resumed++
+				continue
+			}
+			pending = append(pending, i)
+		}
+	} else {
+		for i := range jobs {
+			pending = append(pending, i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	var (
-		mu       sync.Mutex // guards done, failed, firstErr, hook calls
-		done     int
-		failed   int
-		firstErr error
+		mu         sync.Mutex // guards counters, firstErr, hook calls
+		done       = resumed
+		failed     int
+		retries    int
+		firstErr   error
+		journalErr error
 	)
 	next := make(chan int)
 	var wg sync.WaitGroup
 	workers := e.workers()
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -174,15 +267,16 @@ func (e *Engine) Run(jobs []Job) ([]Result, Metrics, error) {
 			defer wg.Done()
 			for i := range next {
 				r := &results[i]
-				if e.Mode == FailFast && ctx.Err() != nil {
+				if parent.Err() != nil || (e.Mode == FailFast && ctx.Err() != nil) {
 					r.Err = ErrCanceled
 				} else {
-					jobStart := time.Now()
-					r.Run, r.Err = e.runJob(jobs[i])
-					r.Wall = time.Since(jobStart)
+					e.execute(ctx, jobs[i], r)
 				}
 				mu.Lock()
 				done++
+				if r.Attempts > 1 {
+					retries += r.Attempts - 1
+				}
 				if r.Err != nil {
 					failed++
 					if firstErr == nil && !errors.Is(r.Err, ErrCanceled) {
@@ -190,6 +284,14 @@ func (e *Engine) Run(jobs []Job) ([]Result, Metrics, error) {
 						if e.Mode == FailFast {
 							cancel()
 						}
+					}
+				}
+				// Canceled jobs never completed; leave them out of the
+				// journal so a resume re-runs them.
+				if e.Journal != nil && !errors.Is(r.Err, ErrCanceled) {
+					if err := e.Journal.Record(i, *r); err != nil && journalErr == nil {
+						journalErr = err
+						cancel()
 					}
 				}
 				if e.OnProgress != nil {
@@ -203,15 +305,21 @@ func (e *Engine) Run(jobs []Job) ([]Result, Metrics, error) {
 			}
 		}()
 	}
-	for i := range jobs {
+	for _, i := range pending {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
 
-	m := Metrics{Jobs: len(jobs), Failed: failed, Elapsed: time.Since(start)}
+	m := Metrics{Jobs: len(jobs), Failed: failed, Resumed: resumed,
+		Retries: retries, Elapsed: time.Since(start)}
 	for i := range results {
-		m.JobWall += results[i].Wall
+		if !results[i].Resumed {
+			m.JobWall += results[i].Wall
+		}
+	}
+	if journalErr != nil {
+		return results, m, fmt.Errorf("exp: journal: %w", journalErr)
 	}
 	if e.Mode == FailFast {
 		return results, m, firstErr
@@ -219,9 +327,51 @@ func (e *Engine) Run(jobs []Job) ([]Result, Metrics, error) {
 	return results, m, nil
 }
 
-// runJob executes one job: prepare (via the cache), simulate, verify.
-func (e *Engine) runJob(job Job) (*stats.Run, error) {
-	inst, err := e.cache.Get(job.Workload, job.Scale)
+// execute runs one job to its final outcome: attempts, per-attempt timeout
+// contexts, and backoff between transient failures. Wall covers the whole
+// effort, retries and backoff included.
+func (e *Engine) execute(ctx context.Context, job Job, r *Result) {
+	jobStart := time.Now()
+	defer func() { r.Wall = time.Since(jobStart) }()
+	for attempt := 1; ; attempt++ {
+		r.Attempts = attempt
+		jctx, cancelJob := jobContext(ctx, job)
+		r.Run, r.Err = e.runJob(jctx, job, attempt)
+		cancelJob()
+		if r.Err == nil || ctx.Err() != nil || !e.Retry.ShouldRetry(attempt, r.Err) {
+			return
+		}
+		if !sleepContext(ctx, e.Retry.Backoff(attempt)) {
+			return
+		}
+	}
+}
+
+// jobContext derives the per-attempt context: the job's wall-clock timeout
+// under the engine context.
+func jobContext(ctx context.Context, job Job) (context.Context, context.CancelFunc) {
+	if job.Timeout > 0 {
+		return context.WithTimeout(ctx, job.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// runJob executes one job attempt: inject faults, prepare (via the cache),
+// simulate under ctx, verify. A panic anywhere inside — a workload bug, a
+// simulator bug, an injected fault — is recovered into a PanicError so it
+// fails only this job, not the whole sweep.
+func (e *Engine) runJob(ctx context.Context, job Job, attempt int) (run *stats.Run, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Job: job.String(), Value: p, Stack: debug.Stack()}
+		}
+	}()
+	if e.Faults != nil {
+		if err := e.Faults.apply(ctx, job, attempt); err != nil {
+			return nil, err
+		}
+	}
+	inst, err := e.instances().Get(job.Workload, job.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +379,7 @@ func (e *Engine) runJob(job Job) (*stats.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, m, err := sim.Run(job.Abs, job.Workload, inst.Setup, job.Opts)
+	run, m, err := sim.RunContext(ctx, job.Abs, job.Workload, inst.Setup, job.Opts)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +389,22 @@ func (e *Engine) runJob(job Job) (*stats.Run, error) {
 		}
 	}
 	return run, nil
+}
+
+// WriteFailureSummary writes one line per failed result — job, error
+// class, error — and returns the number of failures. The CLIs print it to
+// stderr so a collect-all campaign with failures is visibly (and, via the
+// exit code, programmatically) distinguishable from a clean one.
+func WriteFailureSummary(w io.Writer, results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		n++
+		fmt.Fprintf(w, "FAILED %-28s [%s] %v\n", r.Job, Classify(r.Err), r.Err)
+	}
+	return n
 }
 
 // PairJobs builds the standard dual-abstraction job set: for each sweep

@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+
+	"ilsim/internal/stats"
+)
+
+// ErrJournalMismatch marks a journal whose recorded job set does not match
+// the job set it is being reused for. Resuming such a journal would splice
+// results from a different campaign into this one, so the engine refuses.
+var ErrJournalMismatch = errors.New("exp: journal job set does not match")
+
+// journalVersion is the on-disk format version; bumped on incompatible
+// changes so old journals fail loudly instead of resuming garbage.
+const journalVersion = 1
+
+// journalHeader is the first JSONL line: the identity of the campaign the
+// journal checkpoints, as the ordered job fingerprints.
+type journalHeader struct {
+	Type    string   `json:"type"` // "header"
+	Version int      `json:"version"`
+	Jobs    []string `json:"jobs"`
+}
+
+// journalEntry is one completed job, success or failure. Successes carry
+// the full stats.Run plus a hash of its fingerprint so corruption is
+// detected at load; failures carry the error text and its class for the
+// record (they are re-executed on resume — a crash or transient deserves
+// another chance).
+type journalEntry struct {
+	Type     string     `json:"type"` // "result"
+	Index    int        `json:"index"`
+	Job      string     `json:"job"` // fingerprint; must match the header
+	JobName  string     `json:"jobName"`
+	Attempts int        `json:"attempts"`
+	WallNS   int64      `json:"wallNs"`
+	Err      string     `json:"err,omitempty"`
+	ErrClass string     `json:"errClass,omitempty"`
+	Run      *stats.Run `json:"run,omitempty"`
+	RunSHA   string     `json:"runSha,omitempty"`
+}
+
+// Journal persists completed results of one job set as JSONL, one fsynced
+// line per job, so a killed campaign loses at most the jobs in flight.
+// Attach it to an Engine (Engine.Journal); the next Run skips every job the
+// journal records as successfully completed and appends the rest as they
+// finish. The file is self-describing: a header line fixes the job set
+// (ordered job fingerprints) and every entry is validated against it on
+// load.
+type Journal struct {
+	path string
+	fps  []string
+
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]Result
+}
+
+// OpenJournal binds a journal file to a job set. When path does not exist
+// a fresh journal is created (with or without resume). When it exists,
+// resume must be true — refusing to silently clobber a checkpoint — and
+// the file's recorded job set must match jobs exactly, or the open fails
+// with ErrJournalMismatch. A partial trailing line (the mark of a kill
+// mid-write) is tolerated and dropped.
+func OpenJournal(path string, jobs []Job, resume bool) (*Journal, error) {
+	j := &Journal{path: path, fps: fingerprints(jobs), done: make(map[int]Result)}
+	switch _, err := os.Stat(path); {
+	case err == nil:
+		if !resume {
+			return nil, fmt.Errorf("exp: journal %s already exists (use resume to continue it)", path)
+		}
+		if err := j.load(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		j.f = f
+		return j, nil
+	case errors.Is(err, fs.ErrNotExist):
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		j.f = f
+		if err := j.append(journalHeader{Type: "header", Version: journalVersion, Jobs: j.fps}); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	default:
+		return nil, err
+	}
+}
+
+// load parses an existing journal: header first, then entries, validating
+// each against the bound job set.
+func (j *Journal) load() error {
+	f, err := os.Open(j.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("exp: journal %s: empty or unreadable header: %w", j.path, sc.Err())
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Type != "header" {
+		return fmt.Errorf("exp: journal %s: bad header line", j.path)
+	}
+	if hdr.Version != journalVersion {
+		return fmt.Errorf("exp: journal %s: version %d, want %d", j.path, hdr.Version, journalVersion)
+	}
+	if err := matchFingerprints(hdr.Jobs, j.fps); err != nil {
+		return fmt.Errorf("%w (%s: %v)", ErrJournalMismatch, j.path, err)
+	}
+	line := 1
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		// A parse failure is fatal only if more lines follow: the last
+		// line may be a partial write from a killed process.
+		if pendingErr != nil {
+			return pendingErr
+		}
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			pendingErr = fmt.Errorf("exp: journal %s:%d: corrupt entry: %v", j.path, line, err)
+			continue
+		}
+		if err := j.admit(e); err != nil {
+			pendingErr = fmt.Errorf("exp: journal %s:%d: %w", j.path, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("exp: journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// admit validates one loaded entry and, for successes, stores it as
+// completed.
+func (j *Journal) admit(e journalEntry) error {
+	if e.Type != "result" || e.Index < 0 || e.Index >= len(j.fps) {
+		return fmt.Errorf("invalid entry (type %q, index %d)", e.Type, e.Index)
+	}
+	if e.Job != j.fps[e.Index] {
+		return fmt.Errorf("%w: entry for job %d", ErrJournalMismatch, e.Index)
+	}
+	if e.Err != "" || e.Run == nil {
+		return nil // recorded failure: kept on disk, re-executed on resume
+	}
+	if got := runSHA(e.Run); got != e.RunSHA {
+		return fmt.Errorf("result for job %d fails its integrity hash", e.Index)
+	}
+	j.done[e.Index] = Result{Run: e.Run, Wall: time.Duration(e.WallNS)}
+	return nil
+}
+
+// Bind verifies that jobs is exactly the job set this journal checkpoints.
+// The engine calls it at the top of every Run with a journal attached.
+func (j *Journal) Bind(jobs []Job) error {
+	if err := matchFingerprints(j.fps, fingerprints(jobs)); err != nil {
+		return fmt.Errorf("%w (%s: %v)", ErrJournalMismatch, j.path, err)
+	}
+	return nil
+}
+
+// Completed returns the journaled successful result for job index i.
+func (j *Journal) Completed(i int) (Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.done[i]
+	return r, ok
+}
+
+// Resumable reports how many jobs the journal already holds successful
+// results for.
+func (j *Journal) Resumable() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Record appends one completed result and syncs it to disk. Successful
+// results also become resumable in-process, so repeated Run calls on the
+// same engine observe them.
+func (j *Journal) Record(index int, r Result) error {
+	if index < 0 || index >= len(j.fps) {
+		return fmt.Errorf("exp: journal: index %d out of range", index)
+	}
+	e := journalEntry{
+		Type: "result", Index: index, Job: j.fps[index],
+		JobName: r.Job.String(), Attempts: r.Attempts, WallNS: int64(r.Wall),
+	}
+	if r.Err != nil {
+		e.Err = r.Err.Error()
+		e.ErrClass = Classify(r.Err).String()
+	} else {
+		e.Run = r.Run
+		e.RunSHA = runSHA(r.Run)
+	}
+	if err := j.append(e); err != nil {
+		return err
+	}
+	if r.Err == nil {
+		j.mu.Lock()
+		j.done[index] = Result{Run: r.Run, Wall: r.Wall}
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// append marshals v as one JSONL line, writes and fsyncs it. Jobs complete
+// at sweep granularity (seconds, not microseconds), so per-entry durability
+// is cheap relative to what it buys: a kill -9 loses only in-flight jobs.
+func (j *Journal) append(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close releases the journal file. The journal stays resumable on disk.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// fingerprints maps jobs to their ordered fingerprints.
+func fingerprints(jobs []Job) []string {
+	fps := make([]string, len(jobs))
+	for i, job := range jobs {
+		fps[i] = job.Fingerprint()
+	}
+	return fps
+}
+
+// matchFingerprints compares two ordered job-fingerprint sets.
+func matchFingerprints(recorded, current []string) error {
+	if len(recorded) != len(current) {
+		return fmt.Errorf("recorded %d jobs, current set has %d", len(recorded), len(current))
+	}
+	for i := range recorded {
+		if recorded[i] != current[i] {
+			return fmt.Errorf("job %d differs", i)
+		}
+	}
+	return nil
+}
+
+// runSHA hashes a run's fingerprint for journal integrity checking.
+func runSHA(run *stats.Run) string {
+	sum := sha256.Sum256(run.Fingerprint())
+	return hex.EncodeToString(sum[:16])
+}

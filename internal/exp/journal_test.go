@@ -1,0 +1,364 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "campaign.jsonl")
+}
+
+// TestJournalResumeRoundTrip is the checkpoint/resume acceptance test: a
+// campaign that loses one job to an injected panic is resumed from its
+// journal; the resumed run re-executes only the unfinished job (proven by
+// arming a panic fault on an already-journaled job — it never fires), and
+// the final result set is fingerprint-identical to an uninterrupted run.
+func TestJournalResumeRoundTrip(t *testing.T) {
+	jobs := tinyJobs(t, 2) // 4 jobs
+	path := journalPath(t)
+
+	clean, _, err := New(4).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First flight: job 3 dies to an injected panic; the journal records
+	// three successes and one failure, then the process "dies" (Close).
+	j1, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(4)
+	eng.Journal = j1
+	eng.Faults = NewFaultPlan()
+	eng.Faults.Set(jobs[3].String(), Fault{Panic: "simulated crash"})
+	first, m1, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Failed != 1 || first[3].Err == nil {
+		t.Fatalf("first flight: %d failed (job 3 err %v), want exactly job 3", m1.Failed, first[3].Err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second flight: resume. Only job 3 may execute — a panic armed on
+	// job 0 would kill the run if the engine re-executed it.
+	j2, err := OpenJournal(path, jobs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := j2.Resumable(); n != 3 {
+		t.Fatalf("journal resumes %d jobs, want 3", n)
+	}
+	eng2 := New(4)
+	eng2.Journal = j2
+	eng2.Faults = NewFaultPlan()
+	eng2.Faults.Set(jobs[0].String(), Fault{Panic: "resumed job re-executed"})
+	results, m2, err := eng2.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Failed != 0 {
+		t.Fatalf("resumed flight failed %d jobs: %+v", m2.Failed, results)
+	}
+	if m2.Resumed != 3 {
+		t.Fatalf("metrics count %d resumed, want 3", m2.Resumed)
+	}
+	for i, r := range results {
+		wantResumed := i != 3
+		if r.Resumed != wantResumed {
+			t.Errorf("job %d: Resumed = %t, want %t", i, r.Resumed, wantResumed)
+		}
+		if wantResumed && r.Attempts != 0 {
+			t.Errorf("job %d resumed but counts %d attempts", i, r.Attempts)
+		}
+		if r.Run == nil {
+			t.Fatalf("job %d has no run", i)
+		}
+		if !bytes.Equal(r.Run.Fingerprint(), clean[i].Run.Fingerprint()) {
+			t.Errorf("job %d: resumed result differs from uninterrupted run", i)
+		}
+	}
+}
+
+// TestJournalFullyResumed re-runs a completed campaign from its journal:
+// nothing executes, everything resumes.
+func TestJournalFullyResumed(t *testing.T) {
+	jobs := tinyJobs(t, 1)
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2)
+	eng.Journal = j
+	if _, _, err := eng.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, jobs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	eng2 := New(2)
+	eng2.Journal = j2
+	eng2.Faults = NewFaultPlan()
+	for _, job := range jobs {
+		eng2.Faults.Set(job.String(), Fault{Panic: "nothing should execute"})
+	}
+	results, m, err := eng2.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Resumed != len(jobs) || m.Failed != 0 {
+		t.Fatalf("metrics %+v, want all %d jobs resumed", m, len(jobs))
+	}
+	for _, r := range results {
+		if !r.Resumed || r.Run == nil {
+			t.Fatalf("job %s not resumed", r.Job)
+		}
+	}
+}
+
+// TestJournalRefusesClobber: opening an existing journal without resume is
+// an error — a checkpoint is never silently overwritten.
+func TestJournalRefusesClobber(t *testing.T) {
+	jobs := tinyJobs(t, 1)
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal(path, jobs, false); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("clobbering open returned %v", err)
+	}
+}
+
+// TestJournalRefusesMismatchedJobSet: resuming with a different job set
+// fails with ErrJournalMismatch, both at open and at engine bind time.
+func TestJournalRefusesMismatchedJobSet(t *testing.T) {
+	jobs := tinyJobs(t, 2)
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	other := tinyJobs(t, 2)
+	other[0].Scale = 3 // different fingerprint, same count
+	if _, err := OpenJournal(path, other, true); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("mismatched resume returned %v, want ErrJournalMismatch", err)
+	}
+	if _, err := OpenJournal(path, jobs[:2], true); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("shorter job set returned %v, want ErrJournalMismatch", err)
+	}
+
+	// Bind-time refusal: a journal opened for one job set cannot be driven
+	// with another by attaching it to an engine.
+	j2, err := OpenJournal(path, jobs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	eng := New(2)
+	eng.Journal = j2
+	if _, _, err := eng.Run(other); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("engine run with mismatched journal returned %v", err)
+	}
+}
+
+// TestJournalToleratesPartialTrailingLine: a kill mid-write leaves a
+// truncated last line; resume drops it and keeps every complete entry.
+func TestJournalToleratesPartialTrailingLine(t *testing.T) {
+	jobs := tinyJobs(t, 1) // 2 jobs
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2)
+	eng.Journal = j
+	if _, _, err := eng.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"result","index":1,"job":"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path, jobs, true)
+	if err != nil {
+		t.Fatalf("partial trailing line rejected: %v", err)
+	}
+	defer j2.Close()
+	if n := j2.Resumable(); n != 2 {
+		t.Fatalf("journal resumes %d jobs after truncation, want 2", n)
+	}
+}
+
+// TestJournalRejectsInteriorCorruption: a corrupt line that is NOT the
+// last one cannot be a partial write — the journal refuses to load.
+func TestJournalRejectsInteriorCorruption(t *testing.T) {
+	jobs := tinyJobs(t, 1)
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2)
+	eng.Journal = j
+	if _, _, err := eng.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Corrupt the first result entry (line 2 of header+2 entries).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	lines[1] = lines[1][:len(lines[1])/2]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, jobs, true); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("interior corruption returned %v", err)
+	}
+}
+
+// TestJournalRejectsTamperedResult: an entry whose stats.Run no longer
+// matches its integrity hash fails the load.
+func TestJournalRejectsTamperedResult(t *testing.T) {
+	jobs := tinyJobs(t, 1)
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2)
+	eng.Journal = j
+	if _, _, err := eng.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	var e journalEntry
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Run.Cycles += 12345 // silent bit-rot stand-in
+	tampered, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[1] = string(tampered)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, jobs, true); err == nil ||
+		!strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("tampered result returned %v", err)
+	}
+}
+
+// TestJournalDoesNotResumeFailures: recorded failures stay on disk for
+// the record but are re-executed on resume.
+func TestJournalDoesNotResumeFailures(t *testing.T) {
+	jobs := tinyJobs(t, 1) // 2 jobs
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2)
+	eng.Journal = j
+	eng.Faults = NewFaultPlan()
+	eng.Faults.Set(jobs[1].String(), Fault{FailAttempts: 99, Err: errors.New("bad run")})
+	if _, m, err := eng.Run(jobs); err != nil || m.Failed != 1 {
+		t.Fatalf("first flight: err %v, %d failed", err, m.Failed)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, jobs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := j2.Resumable(); n != 1 {
+		t.Fatalf("journal resumes %d jobs, want only the success", n)
+	}
+	eng2 := New(2)
+	eng2.Journal = j2
+	results, m, err := eng2.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Failed != 0 || results[1].Err != nil || results[1].Resumed {
+		t.Fatalf("failed job not re-executed cleanly: %+v", results[1])
+	}
+}
+
+// TestJournalSkipsCanceledJobs: canceled jobs must not be journaled —
+// they are neither completed work nor real failures.
+func TestJournalSkipsCanceledJobs(t *testing.T) {
+	jobs := tinyJobs(t, 2) // 4 jobs
+	path := journalPath(t)
+	j, err := OpenJournal(path, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(1) // serial: job 0 fails, the rest are shed as canceled
+	eng.Mode = FailFast
+	eng.Journal = j
+	eng.Faults = NewFaultPlan()
+	eng.Faults.Set(jobs[0].String(), Fault{FailAttempts: 99, Err: errors.New("fatal")})
+	if _, _, err := eng.Run(jobs); err == nil {
+		t.Fatal("FailFast run returned nil error")
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n")[1:] {
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.ErrClass == ClassCanceled.String() {
+			t.Fatalf("canceled job journaled: %s", line)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs re-execution of failed jobs. The zero value retries
+// nothing; setting MaxRetries > 0 retries transiently-classified failures
+// with exponential backoff plus jitter. Budget kills, timeouts, panics and
+// permanent errors are never retried by default — re-running a
+// deterministic simulation into the same wall is wasted work — but a
+// custom Retryable predicate can widen (or narrow) the set.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-executions allowed per job after its
+	// first attempt (0 = retries disabled).
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry (default 2, min 1).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over [d·(1-J), d·(1+J)] to
+	// decorrelate retry storms. Default 0.5; negative disables jitter.
+	Jitter float64
+	// Retryable decides which errors retry (default IsTransient).
+	Retryable func(error) bool
+}
+
+// ShouldRetry reports whether a job that failed with err on its attempt-th
+// execution (1-based) should run again.
+func (p RetryPolicy) ShouldRetry(attempt int, err error) bool {
+	if err == nil || attempt > p.MaxRetries {
+		return false
+	}
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return IsTransient(err)
+}
+
+// Backoff returns the delay before the retry following the attempt-th
+// execution (1-based): BaseDelay · Multiplier^(attempt-1), capped at
+// MaxDelay, jittered.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base) * math.Pow(mult, float64(attempt-1))
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		d *= 1 + jitter*(2*rand.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	return time.Duration(d)
+}

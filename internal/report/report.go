@@ -5,6 +5,7 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -39,12 +40,11 @@ func Collect(cfg core.Config, scale int, withHW bool) (*Results, error) {
 	return CollectParallel(exp.New(0), cfg, scale, withHW)
 }
 
-// CollectParallel runs the whole suite through the given experiment engine:
-// per workload, HSAIL and GCN3 runs on cfg plus (optionally) the hardware
-// oracle's silicon-configured run — one flat job set the engine spreads
-// over its worker pool, with instance preparation shared between the three
-// runs of each workload. Results are assembled in Table 5 order.
-func CollectParallel(eng *exp.Engine, cfg core.Config, scale int, withHW bool) (*Results, error) {
+// SuiteJobs builds the report's flat job set: per workload, HSAIL and GCN3
+// runs on cfg plus (optionally) the hardware oracle's silicon-configured
+// run. It is exported so callers can bind a checkpoint journal
+// (exp.OpenJournal) to exactly the set CollectParallel will run.
+func SuiteJobs(cfg core.Config, scale int, withHW bool) []exp.Job {
 	opts := core.RunOptions{TrackValues: true, ValueSampleEvery: 4, TrackReuse: true}
 	all := workloads.All()
 	perWL := 2
@@ -61,14 +61,42 @@ func CollectParallel(eng *exp.Engine, cfg core.Config, scale int, withHW bool) (
 				Scale: scale, Abs: core.AbsGCN3, Config: hwmodel.SiliconConfig()})
 		}
 	}
-	results, _, err := eng.Run(jobs)
+	return jobs
+}
+
+// CollectParallel runs the whole suite through the given experiment engine
+// — one flat job set the engine spreads over its worker pool, with
+// instance preparation shared between the runs of each workload. Results
+// are assembled in Table 5 order. Every figure needs every run, so ANY
+// failed job fails the collection; the returned error enumerates all
+// failures with their classes so one rerun can address them together.
+func CollectParallel(eng *exp.Engine, cfg core.Config, scale int, withHW bool) (*Results, error) {
+	results, _, err := eng.Run(SuiteJobs(cfg, scale, withHW))
 	if err != nil {
 		return nil, fmt.Errorf("report: %w", err)
 	}
+	return Assemble(results, scale, withHW)
+}
+
+// Assemble builds the figure-ready Results from the SuiteJobs result set.
+func Assemble(results []exp.Result, scale int, withHW bool) (*Results, error) {
+	var errs []error
 	for _, r := range results {
 		if r.Err != nil {
-			return nil, fmt.Errorf("report: %s: %w", r.Job, r.Err)
+			errs = append(errs, fmt.Errorf("%s [%s]: %w", r.Job, exp.Classify(r.Err), r.Err))
 		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("report: %d of %d jobs failed:\n%w",
+			len(errs), len(results), errors.Join(errs...))
+	}
+	all := workloads.All()
+	perWL := 2
+	if withHW {
+		perWL = 3
+	}
+	if len(results) != perWL*len(all) {
+		return nil, fmt.Errorf("report: %d results for a %d-job suite", len(results), perWL*len(all))
 	}
 	res := &Results{Runs: make(map[string]*Pair), HW: make(map[string][]float64), Scale: scale}
 	for i, w := range all {
@@ -387,6 +415,12 @@ func (r *Results) Markdown(cfg core.Config) string {
 	b.WriteString("Absolute values depend on input scale; the RATIOS and orderings are the\n")
 	b.WriteString("reproduction targets, per the brief's \"shape should hold\" standard. Deviations\n")
 	b.WriteString("are annotated inline and discussed in DESIGN.md §8.\n\n")
+	b.WriteString("The suite is the repository's longest campaign; `ilsim-report -journal\n")
+	b.WriteString("report.jsonl` checkpoints every completed job (fsynced JSONL keyed by job\n")
+	b.WriteString("fingerprint, result integrity-hashed) and `-resume` continues a killed\n")
+	b.WriteString("regeneration, re-running only unfinished jobs. Failures classify as\n")
+	b.WriteString("transient/permanent/canceled/timeout/budget-exceeded/panic (see README\n")
+	b.WriteString("\"Robust campaigns\").\n\n")
 	fmt.Fprintf(&b, "Input scale: %d. Simulated configuration (Table 4):\n\n```\n%s\n```\n", r.Scale, cfg.String())
 	b.WriteString(r.PaperComparison())
 	b.WriteString(r.Fig1())

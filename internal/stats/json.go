@@ -1,0 +1,27 @@
+package stats
+
+import "encoding/json"
+
+// MarshalJSON serializes the histogram as its sorted (value, count) items —
+// the same stable form Fingerprint embeds — so a journaled stats.Run
+// round-trips through JSON with a byte-identical fingerprint.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.Items())
+}
+
+// UnmarshalJSON rebuilds the distribution from its (value, count) items.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var items []HistogramItem
+	if err := json.Unmarshal(data, &items); err != nil {
+		return err
+	}
+	*h = Histogram{}
+	for _, it := range items {
+		if h.counts == nil {
+			h.counts = make(map[uint32]uint64, len(items))
+		}
+		h.counts[it.Value] = it.Count
+		h.n += it.Count
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunJSONRoundTrip proves a stats.Run survives the journal's JSON
+// encoding with a byte-identical fingerprint — the property checkpoint/
+// resume relies on. The Histogram needs custom (un)marshaling because its
+// map is unexported; everything else is plain fields.
+func TestRunJSONRoundTrip(t *testing.T) {
+	r := &Run{
+		Workload: "ArrayBW", Abstraction: "GCN3",
+		Cycles: 123456, KernelCycles: []uint64{100, 23356}, KernelLaunches: 2,
+		VRFBankConflicts: 7, VRFAccesses: 900,
+		IBFlushes: 3, Redirects: 5,
+		CodeFootprintBytes: 4096, DataFootprintBytes: 1 << 20,
+		VALUActiveLanes: 6400, VALUInsts: 100,
+		ReadLanes: 640, ReadUnique: 80, WriteLanes: 320, WriteUnique: 300,
+		L1DAccesses: 1000, L1DMisses: 50,
+		L1IAccesses: 2000, L1IMisses: 10,
+		L2Accesses: 60, L2Misses: 9,
+		ScalarL1Accesses: 400, ScalarL1Misses: 4,
+		FetchStallCycles: 777,
+	}
+	r.InstsByCategory[0] = 42
+	r.InstsByCategory[1] = 17
+	for _, d := range []uint32{1, 1, 1, 8, 64, 64, 4000} {
+		r.Reuse.Add(d)
+	}
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Fingerprint(), r.Fingerprint()) {
+		t.Fatalf("fingerprint changed across JSON round trip:\n%s\nvs\n%s",
+			r.Fingerprint(), back.Fingerprint())
+	}
+	if back.Reuse.N() != r.Reuse.N() || back.Reuse.Median() != r.Reuse.Median() {
+		t.Fatalf("histogram lost observations: n=%d median=%d", back.Reuse.N(), back.Reuse.Median())
+	}
+}
+
+// TestEmptyHistogramJSON: a Run with no reuse tracking round-trips too.
+func TestEmptyHistogramJSON(t *testing.T) {
+	r := &Run{Workload: "MD", Abstraction: "HSAIL", Cycles: 1}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Fingerprint(), r.Fingerprint()) {
+		t.Fatal("empty-histogram run fingerprint changed across round trip")
+	}
+}

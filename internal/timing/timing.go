@@ -17,6 +17,8 @@
 package timing
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ilsim/internal/emu"
@@ -24,6 +26,63 @@ import (
 	"ilsim/internal/mem"
 	"ilsim/internal/stats"
 )
+
+// ErrBudgetExceeded marks a run aborted because it exhausted its cycle or
+// instruction budget (Watchdog.MaxCycles / Watchdog.MaxInsts). It is the
+// mechanism that bounds a runaway or livelocked simulation; core and the
+// experiment engine re-export it so callers can classify the failure with
+// errors.Is at any layer.
+var ErrBudgetExceeded = errors.New("simulation budget exceeded")
+
+// DefaultCheckEvery is the watchdog check period in simulated cycles when
+// Watchdog.CheckEvery is unset. The check is a context poll plus two integer
+// comparisons, so even the default keeps overhead far below the per-cycle
+// model cost while bounding kill latency to ~1k cycles.
+const DefaultCheckEvery = 1024
+
+// Watchdog bounds a GPU run cooperatively: every CheckEvery simulated
+// cycles (and once at each dispatch entry) the timing loop polls the
+// context and the budgets instead of running open-loop. A zero Watchdog
+// disables all checks.
+type Watchdog struct {
+	// Ctx, when non-nil, cancels the run: the first check after the
+	// context ends aborts the dispatch with the context's cause.
+	Ctx context.Context
+	// MaxCycles bounds total simulated cycles since GPU creation
+	// (0 = unlimited).
+	MaxCycles int64
+	// MaxInsts bounds committed wavefront instructions (0 = unlimited).
+	MaxInsts uint64
+	// CheckEvery is the check period in cycles (0 = DefaultCheckEvery).
+	CheckEvery int64
+}
+
+func (w Watchdog) enabled() bool {
+	return w.Ctx != nil || w.MaxCycles > 0 || w.MaxInsts > 0
+}
+
+func (w Watchdog) every() int64 {
+	if w.CheckEvery > 0 {
+		return w.CheckEvery
+	}
+	return DefaultCheckEvery
+}
+
+// check reports why the run must stop, or nil to continue.
+func (w Watchdog) check(now int64, run *stats.Run) error {
+	if w.Ctx != nil && w.Ctx.Err() != nil {
+		return fmt.Errorf("timing: run canceled at cycle %d: %w", now, context.Cause(w.Ctx))
+	}
+	if w.MaxCycles > 0 && now >= w.MaxCycles {
+		return fmt.Errorf("timing: %w: %d cycles >= budget %d", ErrBudgetExceeded, now, w.MaxCycles)
+	}
+	if w.MaxInsts > 0 && run != nil {
+		if n := run.TotalInsts(); n >= w.MaxInsts {
+			return fmt.Errorf("timing: %w: %d instructions >= budget %d", ErrBudgetExceeded, n, w.MaxInsts)
+		}
+	}
+	return nil
+}
 
 // Params configures the timing model (core.Config maps onto it).
 type Params struct {
@@ -90,8 +149,11 @@ func DefaultParams() Params {
 
 // GPU is the timed device: CUs plus the shared memory system.
 type GPU struct {
-	P    Params
-	Run  *stats.Run
+	P   Params
+	Run *stats.Run
+	// WD bounds the run (cancellation and budgets); set it before the
+	// first RunDispatch. The zero value runs unbounded.
+	WD   Watchdog
 	cus  []*cu
 	l2   *mem.Cache
 	dram *mem.DRAM
@@ -100,6 +162,9 @@ type GPU struct {
 	sCaches []*mem.Cache
 
 	now int64
+	// wdTick counts cycles toward the next watchdog check; it persists
+	// across dispatches so short kernels cannot starve the watchdog.
+	wdTick int64
 }
 
 // NewGPU builds the device.
@@ -131,6 +196,12 @@ func (g *GPU) Now() int64 { return g.now }
 // RunDispatch executes one dispatch to completion on the timed model and
 // returns the cycles it took.
 func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
+	watched := g.WD.enabled()
+	if watched {
+		if err := g.WD.check(g.now, g.Run); err != nil {
+			return 0, err
+		}
+	}
 	start := g.now
 	g.now += g.P.LaunchOverhead
 
@@ -194,6 +265,14 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 		}
 		if g.Run != nil {
 			g.Run.Cycles++
+		}
+		if watched {
+			if g.wdTick++; g.wdTick >= g.WD.every() {
+				g.wdTick = 0
+				if err := g.WD.check(g.now, g.Run); err != nil {
+					return 0, err
+				}
+			}
 		}
 	}
 	return g.now - start, nil
