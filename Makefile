@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exp/... ./internal/core/... ./cmd/...
+	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/core/... ./cmd/...
 
 bench:
 	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -benchtime 3x .

@@ -3,13 +3,16 @@
 //
 // The full suite at evaluation scale is the repository's longest campaign;
 // -journal checkpoints every completed run so a killed regeneration
-// resumes with -resume instead of restarting from zero.
+// resumes with -resume instead of restarting from zero, and -serve leases
+// the suite to distributed workers (ilsim-workerd) instead of running it
+// on the local pool — the assembled figures are identical either way.
 //
 // Usage:
 //
 //	ilsim-report [-scale N] [-hw=false] [-exp fig5] [-o EXPERIMENTS.md] [-j 8]
 //	ilsim-report -journal report.jsonl            # checkpoint as it goes
 //	ilsim-report -journal report.jsonl -resume    # continue after a kill
+//	ilsim-report -serve :9666                     # lease the suite to workers
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 
 	"ilsim/internal/core"
+	"ilsim/internal/dist"
 	"ilsim/internal/exp"
 	"ilsim/internal/report"
 )
@@ -31,6 +35,8 @@ func main() {
 	workers := flag.Int("j", 0, "max parallel simulation jobs (0 = GOMAXPROCS)")
 	journalPath := flag.String("journal", "", "checkpoint completed suite jobs to this JSONL file")
 	resume := flag.Bool("resume", false, "reuse an existing -journal file, re-running only unfinished jobs")
+	verbose := flag.Bool("v", false, "print per-job progress with ETA to stderr")
+	serve := flag.String("serve", "", "coordinate the suite over HTTP on this address instead of running it locally")
 	flag.Parse()
 	if *resume && *journalPath == "" {
 		fmt.Fprintln(os.Stderr, "ilsim-report: -resume requires -journal")
@@ -38,7 +44,7 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
-	eng := exp.New(*workers)
+	var journal *exp.Journal
 	if *journalPath != "" {
 		jobs := report.SuiteJobs(cfg, *scale, *withHW)
 		j, err := exp.OpenJournal(*journalPath, jobs, *resume)
@@ -51,9 +57,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "resuming: %d of %d jobs already journaled in %s\n",
 				n, len(jobs), *journalPath)
 		}
-		eng.Journal = j
+		journal = j
 	}
-	res, err := report.CollectParallel(eng, cfg, *scale, *withHW)
+	var onProgress func(exp.Progress)
+	if *verbose {
+		onProgress = func(p exp.Progress) { fmt.Fprintln(os.Stderr, p.Line()) }
+	}
+	var runner exp.Runner
+	if *serve != "" {
+		c := dist.NewCoordinator(dist.Options{
+			Addr:       *serve,
+			Journal:    journal,
+			OnProgress: onProgress,
+			Logf:       func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		})
+		if err := c.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "ilsim-report:", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		fmt.Fprintf(os.Stderr, "coordinating the suite on %s — attach workers with: ilsim-workerd -connect %s\n",
+			c.Addr(), c.Addr())
+		runner = c
+	} else {
+		eng := exp.New(*workers)
+		eng.Journal = journal
+		eng.OnProgress = onProgress
+		runner = eng
+	}
+	res, err := report.CollectParallel(runner, cfg, *scale, *withHW)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ilsim-report:", err)
 		os.Exit(1)

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while the coordinator
+// goroutine writes its stderr stream into it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// timingRe strips the wall-clock summary line, the only part of the sweep
+// output that legitimately differs between two runs of the same jobs.
+var timingRe = regexp.MustCompile(`(?m)^\d+ jobs in .*$`)
+
+func sweepTable(s string) string { return timingRe.ReplaceAllString(s, "N jobs") }
+
+// TestSweepServeConnect runs the same tiny sweep twice — once locally,
+// once through -serve with two -connect workers over loopback — and
+// asserts the result tables are identical: the distributed path must not
+// change a byte of the science.
+func TestSweepServeConnect(t *testing.T) {
+	sweep := []string{"-param", "banks", "-workload", "ArrayBW", "-scale", "1", "-points", "2"}
+
+	var localOut, localErr bytes.Buffer
+	if err := run(append(sweep, "-j", "2"), &localOut, &localErr); err != nil {
+		t.Fatalf("local run: %v\nstderr: %s", err, localErr.String())
+	}
+
+	var serveOut bytes.Buffer
+	serveErr := &syncBuffer{}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- run(append(sweep, "-serve", "127.0.0.1:0"), &serveOut, serveErr) }()
+
+	// The coordinator prints its bound address before accepting workers.
+	addrRe := regexp.MustCompile(`-connect (127\.0\.0\.1:\d+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(serveErr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-serveDone:
+			t.Fatalf("coordinator exited early: %v\nstderr: %s", err, serveErr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no coordinator address in stderr:\n%s", serveErr.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var wOut bytes.Buffer
+			wErr := &syncBuffer{}
+			if err := run([]string{"-connect", addr, "-j", "2", "-v"}, &wOut, wErr); err != nil {
+				t.Errorf("worker: %v\nstderr: %s", err, wErr.String())
+			}
+		}()
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve run: %v\nstderr: %s", err, serveErr.String())
+	}
+	wg.Wait()
+
+	if sweepTable(localOut.String()) != sweepTable(serveOut.String()) {
+		t.Fatalf("distributed sweep output differs from local:\n--- local ---\n%s--- distributed ---\n%s",
+			localOut.String(), serveOut.String())
+	}
+}
+
+// TestSweepServeConnectExclusive rejects contradictory modes.
+func TestSweepServeConnectExclusive(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-serve", ":0", "-connect", "x:1"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v", err)
+	}
+}

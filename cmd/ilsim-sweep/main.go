@@ -10,6 +10,11 @@
 // checkpoints every completed job so an interrupted sweep resumes with
 // -resume instead of restarting.
 //
+// Sweeps also distribute: -serve turns the process into a coordinator that
+// leases the same job set to workers (-connect here, or ilsim-workerd) and
+// assembles their streamed results in design-point order, byte-identical
+// to a local run.
+//
 // Usage:
 //
 //	ilsim-sweep -param banks  -workload ArrayBW   # VRF bank count
@@ -20,17 +25,22 @@
 //	ilsim-sweep -param banks -j 8 -v              # 8 workers, progress on stderr
 //	ilsim-sweep -param banks -journal s.jsonl     # checkpoint completed jobs
 //	ilsim-sweep -param banks -journal s.jsonl -resume   # continue after a kill
+//	ilsim-sweep -param banks -serve :9666         # coordinate remote workers
+//	ilsim-sweep -connect host:9666 -j 4           # execute leases from a coordinator
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"ilsim/internal/core"
+	"ilsim/internal/dist"
 	"ilsim/internal/exp"
 )
 
@@ -59,11 +69,33 @@ func run(args []string, out, errw io.Writer) error {
 	retries := fs.Int("retries", 0, "retries per transiently failing job (exponential backoff)")
 	journalPath := fs.String("journal", "", "checkpoint completed jobs to this JSONL file")
 	resume := fs.Bool("resume", false, "reuse an existing -journal file, re-running only unfinished jobs")
+	serve := fs.String("serve", "", "coordinate the sweep over HTTP on this address instead of running it locally")
+	connect := fs.String("connect", "", "run as a worker executing leases from the coordinator at this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *journalPath == "" {
 		return errors.New("-resume requires -journal")
+	}
+	if *serve != "" && *connect != "" {
+		return errors.New("-serve and -connect are mutually exclusive")
+	}
+
+	if *connect != "" {
+		// Worker mode: the job set lives on the coordinator; every local
+		// defense (retries, watchdogs, panic isolation) still applies per
+		// leased job.
+		slots := *workers
+		if slots <= 0 {
+			slots = runtime.GOMAXPROCS(0)
+		}
+		eng := exp.New(0)
+		eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
+		w := &dist.Worker{Coordinator: *connect, Slots: slots, Engine: eng}
+		if *verbose {
+			w.Logf = func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) }
+		}
+		return w.Run(context.Background())
 	}
 
 	pts, err := exp.SweepPoints(*param)
@@ -80,11 +112,7 @@ func run(args []string, out, errw io.Writer) error {
 		}
 	}
 
-	eng := exp.New(*workers)
-	if *failFast {
-		eng.Mode = exp.FailFast
-	}
-	eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
+	var journal *exp.Journal
 	if *journalPath != "" {
 		j, err := exp.OpenJournal(*journalPath, jobs, *resume)
 		if err != nil {
@@ -94,19 +122,44 @@ func run(args []string, out, errw io.Writer) error {
 		if n := j.Resumable(); n > 0 {
 			fmt.Fprintf(errw, "resuming: %d of %d jobs already journaled in %s\n", n, len(jobs), *journalPath)
 		}
-		eng.Journal = j
+		journal = j
 	}
+	var onProgress func(exp.Progress)
 	if *verbose {
-		eng.OnProgress = func(p exp.Progress) {
-			status := "ok"
-			if p.Err != nil {
-				status = fmt.Sprintf("FAIL [%s]: %s", exp.Classify(p.Err), p.Err)
-			}
-			fmt.Fprintf(errw, "[%d/%d] %-28s %8.2fs  %s\n",
-				p.Done, p.Total, p.Job, p.Wall.Seconds(), status)
-		}
+		onProgress = func(p exp.Progress) { fmt.Fprintln(errw, p.Line()) }
 	}
-	results, metrics, err := eng.Run(jobs)
+
+	var runner exp.Runner
+	if *serve != "" {
+		// Coordinator mode: the same job set, leased to workers instead of
+		// a local pool; results assemble in the same submission order.
+		if *failFast {
+			return errors.New("-failfast applies to the local engine; with -serve, failures are collected")
+		}
+		c := dist.NewCoordinator(dist.Options{
+			Addr:       *serve,
+			Journal:    journal,
+			OnProgress: onProgress,
+			Logf:       func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) },
+		})
+		if err := c.Start(); err != nil {
+			return err
+		}
+		defer c.Close()
+		fmt.Fprintf(errw, "coordinating %d jobs on %s — attach workers with: ilsim-workerd -connect %s\n",
+			len(jobs), c.Addr(), c.Addr())
+		runner = c
+	} else {
+		eng := exp.New(*workers)
+		if *failFast {
+			eng.Mode = exp.FailFast
+		}
+		eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
+		eng.Journal = journal
+		eng.OnProgress = onProgress
+		runner = eng
+	}
+	results, metrics, err := runner.Run(jobs)
 	if err != nil {
 		return err
 	}

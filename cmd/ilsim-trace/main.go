@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ilsim/internal/core"
@@ -19,29 +20,47 @@ import (
 )
 
 func main() {
-	name := flag.String("workload", "ArrayBW", "workload name")
-	abs := flag.String("abs", "gcn3", "abstraction: hsail or gcn3")
-	wgIdx := flag.Int("wg", 0, "workgroup to trace")
-	waveIdx := flag.Int("wave", 0, "wavefront within the workgroup")
-	maxInsts := flag.Int("max", 200, "maximum instructions to print (0 = all)")
-	launch := flag.Int("launch", 0, "which dynamic kernel launch to trace")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ilsim-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and traces the chosen wavefront; split from main for the
+// smoke tests.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ilsim-trace", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	name := fs.String("workload", "ArrayBW", "workload name")
+	abs := fs.String("abs", "gcn3", "abstraction: hsail or gcn3")
+	wgIdx := fs.Int("wg", 0, "workgroup to trace")
+	waveIdx := fs.Int("wave", 0, "wavefront within the workgroup")
+	maxInsts := fs.Int("max", 200, "maximum instructions to print (0 = all)")
+	launch := fs.Int("launch", 0, "which dynamic kernel launch to trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	w, err := workloads.ByName(*name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	inst, err := w.Prepare(1)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	a := core.AbsGCN3
-	if *abs == "hsail" {
+	var a core.Abstraction
+	switch *abs {
+	case "gcn3":
+		a = core.AbsGCN3
+	case "hsail":
 		a = core.AbsHSAIL
+	default:
+		return fmt.Errorf("unknown abstraction %q (hsail or gcn3)", *abs)
 	}
 	m := core.NewMachine(a, nil)
 	if err := inst.Setup(m); err != nil {
-		fatal(err)
+		return err
 	}
 
 	// Drain launches up to the requested one (executing them fully so
@@ -49,24 +68,24 @@ func main() {
 	for l := 0; ; l++ {
 		d, eng, err := m.NextDispatch()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if d == nil {
-			fatal(fmt.Errorf("launch %d not found (workload has %d)", *launch, l))
+			return fmt.Errorf("launch %d not found (workload has %d)", *launch, l)
 		}
 		if l != *launch {
 			if err := emu.RunFunctional(eng, d); err != nil {
-				fatal(err)
+				return err
 			}
 			continue
 		}
 		if *wgIdx >= len(d.Workgroups) {
-			fatal(fmt.Errorf("workgroup %d out of range (%d)", *wgIdx, len(d.Workgroups)))
+			return fmt.Errorf("workgroup %d out of range (%d)", *wgIdx, len(d.Workgroups))
 		}
 		info := &d.Workgroups[*wgIdx]
 		wg := emu.NewWGState(d, info, eng.LDSBytes())
 		if *waveIdx >= info.NumWaves {
-			fatal(fmt.Errorf("wave %d out of range (%d)", *waveIdx, info.NumWaves))
+			return fmt.Errorf("wave %d out of range (%d)", *waveIdx, info.NumWaves)
 		}
 		// Other waves of the group run untraced but interleaved enough
 		// for barriers to release: round-robin stepping.
@@ -74,9 +93,9 @@ func main() {
 		for i := range waves {
 			waves[i] = eng.NewWave(wg, i)
 		}
-		fmt.Printf("kernel %s, %s, workgroup %d, wave %d (%d lanes)\n\n",
+		fmt.Fprintf(out, "kernel %s, %s, workgroup %d, wave %d (%d lanes)\n\n",
 			d.KernelName, a, *wgIdx, *waveIdx, waves[*waveIdx].NumLanes)
-		fmt.Printf("%-6s %-10s %-5s %-4s %s\n", "#", "pc", "lanes", "rs", "instruction")
+		fmt.Fprintf(out, "%-6s %-10s %-5s %-4s %s\n", "#", "pc", "lanes", "rs", "instruction")
 		printed := 0
 		atBarrier := make([]bool, len(waves))
 		for {
@@ -93,7 +112,7 @@ func main() {
 				pc := wv.PC
 				r, err := eng.Execute(wv)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				progressed = true
 				if i == *waveIdx {
@@ -103,7 +122,7 @@ func main() {
 						if r.Redirected {
 							mark = ">" // front-end redirect (IB flush)
 						}
-						fmt.Printf("%-6d 0x%08x %-5d %-4d %s%s\n",
+						fmt.Fprintf(out, "%-6d 0x%08x %-5d %-4d %s%s\n",
 							printed, pc, r.ActiveLanes, len(wv.RS), mark, eng.InstString(pc))
 					}
 				}
@@ -121,14 +140,9 @@ func main() {
 			}
 		}
 		if *maxInsts != 0 && printed > *maxInsts {
-			fmt.Printf("... (%d more instructions)\n", printed-*maxInsts)
+			fmt.Fprintf(out, "... (%d more instructions)\n", printed-*maxInsts)
 		}
-		fmt.Printf("\nwave executed %d instructions\n", printed)
-		return
+		fmt.Fprintf(out, "\nwave executed %d instructions\n", printed)
+		return nil
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ilsim-trace:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,87 @@
+// Command ilsim-workerd is the distributed-sweep worker daemon: it joins a
+// coordinator (ilsim-sweep -serve, or any dist.Coordinator), long-polls
+// for job leases, executes them on a local experiment engine — watchdog
+// budgets, panic isolation and transient retries all apply per job, as
+// they would locally — and streams integrity-hashed results back. It
+// exits 0 when the coordinator reports the campaign complete.
+//
+// The join handshake refuses stale binaries: protocol versions must match
+// and the worker must recompute the coordinator's job fingerprints
+// identically, so a worker whose job encoding drifted can never taint a
+// campaign.
+//
+// Usage:
+//
+//	ilsim-workerd -connect host:9666              # one execution slot
+//	ilsim-workerd -connect host:9666 -j 8 -v      # 8 slots, lifecycle logs
+//	ilsim-workerd -connect host:9666 -retries 2   # local transient retries
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ilsim/internal/dist"
+	"ilsim/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ilsim-workerd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes leases until the campaign completes; split
+// from main for the smoke tests.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ilsim-workerd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	connect := fs.String("connect", "", "coordinator address (host:port; required)")
+	name := fs.String("name", "", "worker name in leases and logs (default hostname-pid)")
+	slots := fs.Int("j", 0, "concurrent execution slots (0 = GOMAXPROCS)")
+	retries := fs.Int("retries", 0, "local retries per transiently failing job")
+	window := fs.Duration("window", 2*time.Minute, "how long to retry an unreachable coordinator before giving up")
+	verbose := fs.Bool("v", false, "log lifecycle events to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return errors.New("-connect is required")
+	}
+	if *slots <= 0 {
+		*slots = runtime.GOMAXPROCS(0)
+	}
+
+	eng := exp.New(0)
+	eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
+	w := &dist.Worker{
+		Coordinator: *connect,
+		Name:        *name,
+		Slots:       *slots,
+		Engine:      eng,
+		RetryWindow: *window,
+	}
+	if *verbose {
+		w.Logf = func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) }
+	}
+
+	// SIGINT/SIGTERM abandon held leases cleanly: in-flight jobs cancel,
+	// nothing half-done is reported, and the coordinator re-leases after
+	// the lease TTL.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "campaign complete")
+	return nil
+}

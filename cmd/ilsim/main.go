@@ -48,6 +48,7 @@ func run(args []string, out, errw io.Writer) error {
 	list := fs.Bool("list", false, "list workloads and exit")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text (single workload)")
 	workers := fs.Int("j", 0, "max parallel jobs (0 = GOMAXPROCS)")
+	verbose := fs.Bool("v", false, "print per-job progress with ETA to stderr")
 	timeout := fs.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
 	maxCycles := fs.Uint64("maxcycles", 0, "per-job simulated-cycle budget (0 = unlimited)")
 	cus := fs.Int("cus", 0, "override the number of compute units")
@@ -106,6 +107,9 @@ func run(args []string, out, errw io.Writer) error {
 		}
 	}
 	eng := exp.New(*workers)
+	if *verbose {
+		eng.OnProgress = func(p exp.Progress) { fmt.Fprintln(errw, p.Line()) }
+	}
 	if len(names) == 1 {
 		// Single workload: the detailed view needs every run, so abort on
 		// the first failure.

@@ -1,0 +1,672 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"ilsim/internal/exp"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Addr is the listen address (host:port; port 0 picks a free one).
+	Addr string
+	// LeaseTTL bounds how long a worker may hold a job without
+	// heartbeating before it is reassigned (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// LongPoll caps how long a /lease request is held open waiting for a
+	// job to become available (default DefaultLongPoll).
+	LongPoll time.Duration
+	// Journal, when non-nil, persists every accepted result before it is
+	// acknowledged, exactly as a local engine would — the same file
+	// resumes the campaign across coordinator restarts.
+	Journal *exp.Journal
+	// OnProgress observes every completed job, with Progress.Worker naming
+	// the worker that ran it. Calls are serialized.
+	OnProgress func(exp.Progress)
+	// Logf, when non-nil, receives coordinator lifecycle events (worker
+	// joins, lease reassignments, refused handshakes).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator serves one campaign at a time to remote workers and
+// assembles their results in submission order. It satisfies exp.Runner,
+// so every consumer of the local engine — the sweep CLI's table printer,
+// report.CollectParallel — can run distributed by swapping the runner.
+type Coordinator struct {
+	opts Options
+	ln   net.Listener
+	srv  *http.Server
+
+	mu   sync.Mutex
+	camp *campaign
+}
+
+var _ exp.Runner = (*Coordinator)(nil)
+
+// NewCoordinator creates a coordinator; call Start to bind its listener.
+func NewCoordinator(opts Options) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.LongPoll <= 0 {
+		opts.LongPoll = DefaultLongPoll
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Coordinator{opts: opts}
+}
+
+// Start binds the listener and begins serving the protocol in the
+// background. Workers may connect immediately; they wait (503 → retry)
+// until RunContext installs a campaign.
+func (c *Coordinator) Start() error {
+	if c.ln != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", c.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", c.opts.Addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", c.handleJoin)
+	mux.HandleFunc("POST /lease", c.handleLease)
+	mux.HandleFunc("POST /result", c.handleResult)
+	mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /status", c.handleStatus)
+	c.ln = ln
+	c.srv = &http.Server{Handler: mux}
+	go c.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return c.opts.Addr
+	}
+	return c.ln.Addr().String()
+}
+
+// Close stops serving. The campaign journal (if any) stays resumable.
+func (c *Coordinator) Close() error {
+	if c.srv == nil {
+		return nil
+	}
+	return c.srv.Close()
+}
+
+// Run executes the job set through remote workers (see RunContext).
+func (c *Coordinator) Run(jobs []exp.Job) ([]exp.Result, exp.Metrics, error) {
+	return c.RunContext(context.Background(), jobs)
+}
+
+// RunContext installs jobs as the active campaign and blocks until every
+// job has a terminal result or ctx ends. Results come back in submission
+// order with the same semantics as the local engine's CollectAll mode:
+// per-job errors live in the results (reported permanent failures are not
+// re-leased), and jobs still unfinished at cancellation carry
+// exp.ErrCanceled. With a Journal attached, journaled completions are
+// restored instead of re-leased and every accepted result is persisted
+// before it is acknowledged to its worker.
+func (c *Coordinator) RunContext(ctx context.Context, jobs []exp.Job) ([]exp.Result, exp.Metrics, error) {
+	if err := c.Start(); err != nil {
+		return nil, exp.Metrics{}, err
+	}
+	cp := newCampaign(jobs, c.opts)
+	if c.opts.Journal != nil {
+		if err := c.opts.Journal.Bind(jobs); err != nil {
+			return nil, exp.Metrics{}, err
+		}
+		for i := range jobs {
+			if r, ok := c.opts.Journal.Completed(i); ok {
+				cp.results[i].Run, cp.results[i].Wall, cp.results[i].Resumed = r.Run, r.Wall, true
+				cp.state[i] = stateDone
+				cp.done++
+				cp.resumed++
+			}
+		}
+		if cp.done == len(jobs) {
+			close(cp.finished)
+		}
+	}
+
+	c.mu.Lock()
+	c.camp = cp
+	c.mu.Unlock()
+
+	// Reclaim expired leases even when no worker traffic arrives to
+	// trigger the lazy sweep in the lease handler.
+	stopReclaim := make(chan struct{})
+	go func() {
+		t := time.NewTicker(reclaimEvery(c.opts.LeaseTTL))
+		defer t.Stop()
+		for {
+			select {
+			case <-stopReclaim:
+				return
+			case <-t.C:
+				cp.mu.Lock()
+				cp.reclaimLocked(time.Now())
+				cp.mu.Unlock()
+			}
+		}
+	}()
+	defer close(stopReclaim)
+
+	select {
+	case <-cp.finished:
+		// Completed normally: stay up briefly so every live worker's next
+		// lease poll gets a Done reply instead of a vanished coordinator
+		// (which it could not tell apart from a crash, and would retry for
+		// its whole outage window).
+		c.linger(ctx, cp)
+	case <-ctx.Done():
+		cp.abort()
+	}
+	return cp.assemble()
+}
+
+// linger blocks until every worker seen within the last lease TTL has been
+// told the campaign is done, capped by a grace period of two long-poll
+// windows — a silent worker is presumed dead, not waited for.
+func (c *Coordinator) linger(ctx context.Context, cp *campaign) {
+	grace := 2 * c.opts.LongPoll
+	if grace > 30*time.Second {
+		grace = 30 * time.Second
+	}
+	deadline := time.Now().Add(grace)
+	for {
+		now := time.Now()
+		cp.mu.Lock()
+		allAcked := true
+		for wkr, seen := range cp.workers {
+			if now.Sub(seen) > cp.leaseTTL {
+				continue
+			}
+			if cp.acked[wkr] < cp.slots[wkr] {
+				allAcked = false
+				break
+			}
+		}
+		ch := cp.changed
+		cp.mu.Unlock()
+		if allAcked || now.After(deadline) || ctx.Err() != nil {
+			return
+		}
+		t := time.NewTimer(20 * time.Millisecond)
+		select {
+		case <-ch:
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		t.Stop()
+	}
+}
+
+// reclaimEvery picks the reclaim sweep period: a quarter TTL, floored so
+// tests with millisecond TTLs still work and capped so long TTLs do not
+// leave dead workers' jobs stranded for minutes after the deadline.
+func reclaimEvery(ttl time.Duration) time.Duration {
+	d := ttl / 4
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// campaign is the lease table and result store of one job set.
+type campaign struct {
+	mu      sync.Mutex
+	jobs    []exp.Job
+	fps     []string
+	setFP   string
+	results []exp.Result
+	state   []jobState
+	leases  map[int]lease
+	workers map[string]time.Time
+	// slots records each worker's declared lease-poll concurrency; acked
+	// counts the Done replies served to it. The coordinator lingers after
+	// completion until every live worker's acked count reaches its slots,
+	// so every polling slot learns the campaign is over.
+	slots map[string]int
+	acked map[string]int
+
+	done, resumed, failed, retries int
+	jobWall                        time.Duration
+	start                          time.Time
+	aborted                        bool
+	// changed is closed and replaced on every state transition a lease
+	// long-poller could care about; finished closes once when every job is
+	// terminal (or the campaign aborts).
+	changed  chan struct{}
+	finished chan struct{}
+
+	journal    *exp.Journal
+	onProgress func(exp.Progress)
+	progressMu sync.Mutex
+	leaseTTL   time.Duration
+	logf       func(string, ...any)
+}
+
+type jobState uint8
+
+const (
+	statePending jobState = iota
+	stateLeased
+	stateDone
+)
+
+type lease struct {
+	worker   string
+	deadline time.Time
+}
+
+func newCampaign(jobs []exp.Job, opts Options) *campaign {
+	cp := &campaign{
+		jobs:       jobs,
+		fps:        make([]string, len(jobs)),
+		setFP:      exp.JobSetFingerprint(jobs),
+		results:    make([]exp.Result, len(jobs)),
+		state:      make([]jobState, len(jobs)),
+		leases:     make(map[int]lease),
+		workers:    make(map[string]time.Time),
+		slots:      make(map[string]int),
+		acked:      make(map[string]int),
+		start:      time.Now(),
+		changed:    make(chan struct{}),
+		finished:   make(chan struct{}),
+		journal:    opts.Journal,
+		onProgress: opts.OnProgress,
+		leaseTTL:   opts.LeaseTTL,
+		logf:       opts.Logf,
+	}
+	for i, job := range jobs {
+		cp.fps[i] = job.Fingerprint()
+		cp.results[i].Job = job
+	}
+	return cp
+}
+
+// broadcastLocked wakes every lease long-poller. Callers hold cp.mu.
+func (cp *campaign) broadcastLocked() {
+	close(cp.changed)
+	cp.changed = make(chan struct{})
+}
+
+// finishedNow reports whether the campaign has ended (all terminal or
+// aborted).
+func (cp *campaign) finishedNow() bool {
+	select {
+	case <-cp.finished:
+		return true
+	default:
+		return false
+	}
+}
+
+// reclaimLocked returns every expired lease to the pending pool. Callers
+// hold cp.mu.
+func (cp *campaign) reclaimLocked(now time.Time) {
+	woke := false
+	for idx, l := range cp.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(cp.leases, idx)
+		if cp.state[idx] == stateLeased {
+			cp.state[idx] = statePending
+			woke = true
+			cp.logf("dist: lease on job %d (%s) held by %s expired; reassigning", idx, cp.jobs[idx], l.worker)
+		}
+	}
+	if woke {
+		cp.broadcastLocked()
+	}
+}
+
+// takeLocked hands the lowest pending job to worker. Callers hold cp.mu.
+func (cp *campaign) takeLocked(worker string, now time.Time) (int, bool) {
+	for idx, st := range cp.state {
+		if st != statePending {
+			continue
+		}
+		cp.state[idx] = stateLeased
+		cp.leases[idx] = lease{worker: worker, deadline: now.Add(cp.leaseTTL)}
+		return idx, true
+	}
+	return 0, false
+}
+
+// heartbeat extends the deadlines of held leases (only those the worker
+// actually owns) and refreshes the worker's last-seen time.
+func (cp *campaign) heartbeat(worker string, held []int, now time.Time) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.workers[worker] = now
+	for _, idx := range held {
+		if idx < 0 || idx >= len(cp.state) {
+			continue
+		}
+		if l, ok := cp.leases[idx]; ok && l.worker == worker {
+			l.deadline = now.Add(cp.leaseTTL)
+			cp.leases[idx] = l
+		}
+	}
+}
+
+// release returns a leased job to the pending pool (a worker declined it,
+// e.g. a canceled attempt it will not retry).
+func (cp *campaign) release(idx int, worker string) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if l, ok := cp.leases[idx]; ok && l.worker == worker && cp.state[idx] == stateLeased {
+		delete(cp.leases, idx)
+		cp.state[idx] = statePending
+		cp.broadcastLocked()
+	}
+}
+
+// complete records one result for job idx. First result wins: a late
+// duplicate from a presumed-dead worker whose job was already reassigned
+// and finished is acknowledged but dropped (the runs are deterministic, so
+// both copies are identical anyway). The journal write happens before the
+// job is marked done, so an acknowledged result is always durable.
+func (cp *campaign) complete(idx int, r exp.Result, worker string) error {
+	cp.mu.Lock()
+	if cp.state[idx] == stateDone || cp.aborted {
+		cp.mu.Unlock()
+		return nil
+	}
+	journal := cp.journal
+	cp.mu.Unlock()
+
+	if journal != nil {
+		if err := journal.Record(idx, r); err != nil {
+			return fmt.Errorf("dist: journal: %w", err)
+		}
+	}
+
+	cp.mu.Lock()
+	if cp.state[idx] == stateDone || cp.aborted {
+		cp.mu.Unlock()
+		return nil
+	}
+	delete(cp.leases, idx)
+	cp.state[idx] = stateDone
+	r.Job = cp.jobs[idx]
+	cp.results[idx] = r
+	cp.done++
+	if r.Err != nil {
+		cp.failed++
+	}
+	if r.Attempts > 1 {
+		cp.retries += r.Attempts - 1
+	}
+	cp.jobWall += r.Wall
+	done, failed, resumed := cp.done, cp.failed, cp.resumed
+	total := len(cp.jobs)
+	elapsed := time.Since(cp.start)
+	if done == total && !cp.finishedNow() {
+		close(cp.finished)
+	}
+	cp.broadcastLocked()
+	cp.mu.Unlock()
+
+	if cp.onProgress != nil {
+		cp.progressMu.Lock()
+		cp.onProgress(exp.Progress{
+			Done: done, Failed: failed, Total: total,
+			Executed: done - resumed,
+			Job:      r.Job, Err: r.Err,
+			Wall: r.Wall, Elapsed: elapsed,
+			ETA:    progressETA(done-resumed, done, total, elapsed),
+			Worker: worker,
+		})
+		cp.progressMu.Unlock()
+	}
+	return nil
+}
+
+// abort ends the campaign early; unfinished jobs become ErrCanceled.
+func (cp *campaign) abort() {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.finishedNow() {
+		return
+	}
+	cp.aborted = true
+	for i := range cp.state {
+		if cp.state[i] != stateDone {
+			cp.results[i].Err = exp.ErrCanceled
+			cp.failed++
+		}
+	}
+	close(cp.finished)
+	cp.broadcastLocked()
+}
+
+// assemble returns the submission-ordered results and campaign metrics.
+func (cp *campaign) assemble() ([]exp.Result, exp.Metrics, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	m := exp.Metrics{
+		Jobs: len(cp.jobs), Failed: cp.failed, Resumed: cp.resumed,
+		Retries: cp.retries, Elapsed: time.Since(cp.start), JobWall: cp.jobWall,
+	}
+	return cp.results, m, nil
+}
+
+// progressETA mirrors the engine's ETA derivation (exp.Metrics.Throughput
+// over executed jobs) for the coordinator's lease-aware progress stream.
+func progressETA(executed, done, total int, elapsed time.Duration) time.Duration {
+	tput := exp.Metrics{Jobs: done, Resumed: done - executed, Elapsed: elapsed}.Throughput()
+	if tput <= 0 || total <= done {
+		return 0
+	}
+	return time.Duration(float64(total-done) / tput * float64(time.Second))
+}
+
+// ---- HTTP handlers ----
+
+// errNoCampaign is served (as 503) while no campaign is installed; workers
+// treat it as "not yet" and retry.
+var errNoCampaign = errors.New("dist: no active campaign")
+
+// campaignFor returns the active campaign, or nil.
+func (c *Coordinator) campaignFor() *campaign {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.camp
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "dist: bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	cp := c.campaignFor()
+	if cp == nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", errNoCampaign)
+		return
+	}
+	if req.Version != ProtocolVersion {
+		cp.logf("dist: refused worker %s: protocol version %d, want %d", req.Worker, req.Version, ProtocolVersion)
+		httpError(w, http.StatusConflict, "dist: protocol version %d, coordinator speaks %d (stale binary?)", req.Version, ProtocolVersion)
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "dist: join without a worker name")
+		return
+	}
+	slots := req.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	cp.mu.Lock()
+	cp.workers[req.Worker] = time.Now()
+	cp.slots[req.Worker] = slots
+	nWorkers := len(cp.workers)
+	cp.mu.Unlock()
+	cp.logf("dist: worker %s joined (%d known)", req.Worker, nWorkers)
+	rep := joinReply{SetFP: cp.setFP, Total: len(cp.jobs), LeaseTTLMS: cp.leaseTTL.Milliseconds()}
+	if len(cp.jobs) > 0 {
+		rep.Probe, rep.ProbeFP = &cp.jobs[0], cp.fps[0]
+	}
+	reply(w, rep)
+}
+
+// checkSet validates a request's campaign fingerprint against the active
+// campaign, writing the HTTP error itself on mismatch.
+func (c *Coordinator) checkSet(w http.ResponseWriter, setFP string) *campaign {
+	cp := c.campaignFor()
+	if cp == nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", errNoCampaign)
+		return nil
+	}
+	if setFP != cp.setFP {
+		httpError(w, http.StatusConflict, "dist: job-set fingerprint %s does not match campaign %s", setFP, cp.setFP)
+		return nil
+	}
+	return cp
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	cp := c.checkSet(w, req.SetFP)
+	if cp == nil {
+		return
+	}
+	hold := time.Duration(req.WaitMS) * time.Millisecond
+	if hold <= 0 || hold > c.opts.LongPoll {
+		hold = c.opts.LongPoll
+	}
+	deadline := time.NewTimer(hold)
+	defer deadline.Stop()
+	for {
+		now := time.Now()
+		cp.mu.Lock()
+		if cp.finishedNow() {
+			cp.acked[req.Worker]++
+			cp.broadcastLocked() // wake the post-completion linger
+			cp.mu.Unlock()
+			reply(w, leaseReply{Done: true})
+			return
+		}
+		cp.reclaimLocked(now)
+		cp.workers[req.Worker] = now
+		if idx, ok := cp.takeLocked(req.Worker, now); ok {
+			job := cp.jobs[idx]
+			fp := cp.fps[idx]
+			cp.mu.Unlock()
+			reply(w, leaseReply{Index: idx, Job: &job, JobFP: fp})
+			return
+		}
+		ch := cp.changed
+		cp.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			reply(w, leaseReply{Wait: true})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	cp := c.checkSet(w, req.SetFP)
+	if cp == nil {
+		return
+	}
+	idx := req.Result.Index
+	if idx < 0 || idx >= len(cp.jobs) {
+		httpError(w, http.StatusBadRequest, "dist: result index %d out of range", idx)
+		return
+	}
+	if req.Result.Job != cp.fps[idx] {
+		httpError(w, http.StatusConflict, "dist: result for job %d carries fingerprint %s, want %s (stale binary?)", idx, req.Result.Job, cp.fps[idx])
+		return
+	}
+	res, err := req.Result.Decode()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A canceled attempt is not an outcome — the worker died mid-job or
+	// declined it; put the job back up for lease.
+	if res.Err != nil && exp.Classify(res.Err) == exp.ClassCanceled {
+		cp.release(idx, req.Worker)
+		reply(w, struct{}{})
+		return
+	}
+	if err := cp.complete(idx, res, req.Worker); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	reply(w, struct{}{})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	cp := c.checkSet(w, req.SetFP)
+	if cp == nil {
+		return
+	}
+	cp.heartbeat(req.Worker, req.Held, time.Now())
+	reply(w, struct{}{})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	cp := c.campaignFor()
+	if cp == nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", errNoCampaign)
+		return
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	reply(w, statusReply{
+		SetFP: cp.setFP, Total: len(cp.jobs),
+		Done: cp.done, Failed: cp.failed, Resumed: cp.resumed,
+		Leased: len(cp.leases), Workers: len(cp.workers),
+		Finished: cp.finishedNow(),
+	})
+}

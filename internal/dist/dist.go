@@ -1,0 +1,108 @@
+// Package dist distributes experiment campaigns across machines. A
+// Coordinator owns one declarative job set (the same []exp.Job a local
+// engine would run), serves it over HTTP as short-lived leases, and
+// assembles the streamed-back results in submission order — so a
+// distributed campaign is byte-identical, fingerprint for fingerprint, to
+// the same job set run in one process. Workers wrap an ordinary
+// exp.Engine: watchdog budgets, panic isolation and transient retries all
+// apply per job on the worker, while the coordinator only re-leases jobs
+// whose worker went silent (heartbeats stop, lease deadline passes).
+//
+// The protocol is five JSON-over-HTTP endpoints:
+//
+//	POST /join       version + probe-fingerprint handshake; stale binaries refused
+//	POST /lease      long-poll for one job (index, job, fingerprint)
+//	POST /result     stream back one exp.WireResult (integrity-hashed)
+//	POST /heartbeat  keep held leases alive
+//	GET  /status     campaign counters, for humans and tests
+//
+// Durability is the journal's: attach an exp.Journal to the coordinator
+// and every accepted result is fsynced before it is acknowledged, so a
+// killed coordinator resumes mid-campaign exactly like a local -resume
+// run — the journal file format is the same.
+package dist
+
+import (
+	"time"
+
+	"ilsim/internal/exp"
+)
+
+// ProtocolVersion gates the coordinator/worker handshake; both sides must
+// match exactly. Bump it on any wire-visible change.
+const ProtocolVersion = 1
+
+// Defaults for the lease lifecycle. LeaseTTL bounds how long a silent
+// worker keeps a job before it is reassigned; workers heartbeat at a third
+// of the TTL, so one lost heartbeat does not forfeit a lease.
+const (
+	DefaultLeaseTTL = 30 * time.Second
+	DefaultLongPoll = 10 * time.Second
+)
+
+// joinRequest opens a worker's session with the coordinator. Slots is the
+// worker's concurrent lease-poll count: after the campaign completes, the
+// coordinator stays up until each live worker has received that many Done
+// replies (one per slot), so no slot is left dialing a vanished server.
+type joinRequest struct {
+	Version int    `json:"version"`
+	Worker  string `json:"worker"`
+	Slots   int    `json:"slots"`
+}
+
+// joinReply fixes the campaign identity for the session. Probe is one job
+// of the set with the coordinator's fingerprint for it: the worker
+// recomputes the fingerprint from the decoded job, and a mismatch — the
+// mark of a stale worker binary whose job encoding drifted — aborts the
+// session before any lease is granted.
+type joinReply struct {
+	SetFP      string   `json:"setFp"`
+	Total      int      `json:"total"`
+	LeaseTTLMS int64    `json:"leaseTtlMs"`
+	Probe      *exp.Job `json:"probe,omitempty"`
+	ProbeFP    string   `json:"probeFp,omitempty"`
+}
+
+// leaseRequest asks for one job, long-polling up to WaitMS when none is
+// available.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	SetFP  string `json:"setFp"`
+	WaitMS int64  `json:"waitMs"`
+}
+
+// leaseReply grants a job (Job + JobFP), asks the worker to poll again
+// (Wait), or ends the session (Done — the campaign is complete).
+type leaseReply struct {
+	Done  bool     `json:"done,omitempty"`
+	Wait  bool     `json:"wait,omitempty"`
+	Index int      `json:"index"`
+	Job   *exp.Job `json:"job,omitempty"`
+	JobFP string   `json:"jobFp,omitempty"`
+}
+
+// resultRequest streams one finished job back.
+type resultRequest struct {
+	Worker string         `json:"worker"`
+	SetFP  string         `json:"setFp"`
+	Result exp.WireResult `json:"result"`
+}
+
+// heartbeatRequest renews the deadlines of every lease the worker holds.
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	SetFP  string `json:"setFp"`
+	Held   []int  `json:"held"`
+}
+
+// statusReply is the GET /status snapshot.
+type statusReply struct {
+	SetFP    string `json:"setFp"`
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Resumed  int    `json:"resumed"`
+	Leased   int    `json:"leased"`
+	Workers  int    `json:"workers"`
+	Finished bool   `json:"finished"`
+}

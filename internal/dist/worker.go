@@ -1,0 +1,347 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ilsim/internal/exp"
+)
+
+// Worker executes leased jobs on a local exp.Engine and streams the
+// results back to a coordinator. Every per-job defense the engine has —
+// watchdog budgets, panic isolation, transient-retry policy — applies on
+// the worker exactly as it would locally; the coordinator never retries a
+// reported failure, it only re-leases jobs whose worker went silent.
+type Worker struct {
+	// Coordinator is the coordinator's address (host:port, or a full
+	// http:// base URL).
+	Coordinator string
+	// Name identifies this worker in leases and logs; defaults to
+	// hostname-pid.
+	Name string
+	// Slots is the number of jobs leased and executed concurrently
+	// (default 1).
+	Slots int
+	// Engine runs the leased jobs; nil uses a default engine. The
+	// engine's Journal must stay nil — durability is the coordinator's
+	// job.
+	Engine *exp.Engine
+	// RetryWindow bounds how long coordinator outages (connection errors,
+	// 503 before a campaign is installed) are retried before the worker
+	// gives up; default 2 minutes.
+	RetryWindow time.Duration
+	// LongPoll asks the coordinator to hold empty lease polls this long
+	// (default DefaultLongPoll; the coordinator may cap it).
+	LongPoll time.Duration
+	// Logf, when non-nil, receives worker lifecycle events.
+	Logf func(format string, args ...any)
+
+	client   *http.Client
+	base     string
+	setFP    string
+	leaseTTL time.Duration
+
+	heldMu sync.Mutex
+	held   map[int]bool
+}
+
+// errStale marks handshake failures that retrying cannot fix: version or
+// fingerprint skew between worker and coordinator binaries.
+var errStale = errors.New("dist: worker binary is stale")
+
+// workerSeq disambiguates default worker names within one process.
+var workerSeq uint64
+
+// Run joins the coordinator and executes leased jobs until the campaign
+// completes (nil), the context ends (ctx.Err()), or the coordinator stays
+// unreachable past the retry window.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return errors.New("dist: worker needs a coordinator address")
+	}
+	w.base = strings.TrimSuffix(w.Coordinator, "/")
+	if !strings.Contains(w.base, "://") {
+		w.base = "http://" + w.base
+	}
+	if w.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		// Names must be unique per coordinator — leases, heartbeats and the
+		// completion handshake are all keyed by them — so the default gets a
+		// process-wide sequence number in case one process runs several
+		// workers (tests, embedded fleets).
+		w.Name = fmt.Sprintf("%s-%d-w%d", host, os.Getpid(), atomic.AddUint64(&workerSeq, 1))
+	}
+	if w.Slots <= 0 {
+		w.Slots = 1
+	}
+	if w.Engine == nil {
+		w.Engine = exp.New(0)
+	}
+	if w.RetryWindow <= 0 {
+		w.RetryWindow = 2 * time.Minute
+	}
+	if w.LongPoll <= 0 {
+		w.LongPoll = DefaultLongPoll
+	}
+	if w.Logf == nil {
+		w.Logf = func(string, ...any) {}
+	}
+	w.client = &http.Client{}
+	w.held = make(map[int]bool)
+
+	if err := w.join(ctx); err != nil {
+		return err
+	}
+	w.Logf("dist: %s joined %s (lease ttl %s)", w.Name, w.base, w.leaseTTL)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go w.heartbeatLoop(ctx)
+
+	errc := make(chan error, w.Slots)
+	for s := 0; s < w.Slots; s++ {
+		go func() { errc <- w.slotLoop(ctx) }()
+	}
+	var first error
+	for s := 0; s < w.Slots; s++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+			cancel() // one slot failing fatally stops the rest
+		}
+	}
+	return first
+}
+
+// join performs the handshake, retrying "coordinator not ready" until the
+// retry window closes. A version or probe-fingerprint mismatch is fatal
+// immediately: the binaries disagree and no amount of retrying helps.
+func (w *Worker) join(ctx context.Context) error {
+	deadline := time.Now().Add(w.RetryWindow)
+	backoff := 250 * time.Millisecond
+	for {
+		var rep joinReply
+		err := w.post(ctx, "/join", joinRequest{Version: ProtocolVersion, Worker: w.Name, Slots: w.Slots}, &rep)
+		switch {
+		case err == nil:
+			if err := verifyProbe(rep); err != nil {
+				return err
+			}
+			w.setFP = rep.SetFP
+			w.leaseTTL = time.Duration(rep.LeaseTTLMS) * time.Millisecond
+			if w.leaseTTL <= 0 {
+				w.leaseTTL = DefaultLeaseTTL
+			}
+			return nil
+		case isFatal(err):
+			return err
+		case time.Now().After(deadline):
+			return fmt.Errorf("dist: coordinator %s unreachable for %s: %w", w.base, w.RetryWindow, err)
+		}
+		w.Logf("dist: join %s: %v (retrying)", w.base, err)
+		if !sleepCtx(ctx, backoff) {
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// verifyProbe recomputes the probe job's fingerprint — the stale-binary
+// detector. A worker whose exp.Job encoding (fields, config layout,
+// fingerprint format) drifted from the coordinator's computes a different
+// fingerprint for the same decoded job and is refused here, at join time,
+// before it can taint any result.
+func verifyProbe(rep joinReply) error {
+	if rep.Probe == nil {
+		return nil
+	}
+	if got := rep.Probe.Fingerprint(); got != rep.ProbeFP {
+		return fmt.Errorf("%w: probe job fingerprints as %s here, %s on the coordinator", errStale, got, rep.ProbeFP)
+	}
+	return nil
+}
+
+// slotLoop is one concurrent execution slot: lease, execute, report,
+// repeat until the coordinator says the campaign is done.
+func (w *Worker) slotLoop(ctx context.Context) error {
+	for ctx.Err() == nil {
+		var rep leaseReply
+		err := w.postRetry(ctx, "/lease",
+			leaseRequest{Worker: w.Name, SetFP: w.setFP, WaitMS: w.LongPoll.Milliseconds()}, &rep)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if rep.Done {
+			return nil
+		}
+		if rep.Wait || rep.Job == nil {
+			continue
+		}
+		if got := rep.Job.Fingerprint(); got != rep.JobFP {
+			return fmt.Errorf("%w: leased job %d fingerprints as %s here, %s on the coordinator", errStale, rep.Index, got, rep.JobFP)
+		}
+		res := w.execute(ctx, rep.Index, *rep.Job)
+		// A canceled attempt is abandoned, not reported: the lease expires
+		// and the coordinator re-leases the job to a live worker, exactly
+		// as if this worker had died.
+		if ctx.Err() != nil || (res.Err != nil && exp.Classify(res.Err) == exp.ClassCanceled) {
+			return nil
+		}
+		wire := exp.EncodeResult(rep.Index, rep.JobFP, res)
+		if err := w.postRetry(ctx, "/result", resultRequest{Worker: w.Name, SetFP: w.setFP, Result: wire}, &struct{}{}); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		w.Logf("dist: %s finished job %d (%s)", w.Name, rep.Index, rep.Job)
+	}
+	return nil
+}
+
+// execute runs one leased job through the local engine (a one-job set:
+// the engine applies its timeout, retry, fault-injection and panic
+// machinery per job anyway, and slots provide the concurrency).
+func (w *Worker) execute(ctx context.Context, idx int, job exp.Job) exp.Result {
+	w.heldMu.Lock()
+	w.held[idx] = true
+	w.heldMu.Unlock()
+	defer func() {
+		w.heldMu.Lock()
+		delete(w.held, idx)
+		w.heldMu.Unlock()
+	}()
+	results, _, err := w.Engine.RunContext(ctx, []exp.Job{job})
+	if err != nil {
+		// FailFast engines surface the job error here too; the per-result
+		// error below carries the same value.
+		w.Logf("dist: %s job %d: %v", w.Name, idx, err)
+	}
+	return results[0]
+}
+
+// heartbeatLoop renews held leases at a third of the lease TTL.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	period := w.leaseTTL / 3
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.heldMu.Lock()
+			held := make([]int, 0, len(w.held))
+			for idx := range w.held {
+				held = append(held, idx)
+			}
+			w.heldMu.Unlock()
+			// Best effort: a missed heartbeat only narrows the lease.
+			_ = w.post(ctx, "/heartbeat", heartbeatRequest{Worker: w.Name, SetFP: w.setFP, Held: held}, &struct{}{})
+		}
+	}
+}
+
+// httpStatusError is a non-2xx protocol reply.
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("dist: coordinator replied %d: %s", e.code, strings.TrimSpace(e.msg))
+}
+
+// isFatal reports errors retrying cannot fix: handshake conflicts (409)
+// and malformed requests (4xx other than timeouts) — the stale-binary and
+// programming-bug classes.
+func isFatal(err error) bool {
+	if errors.Is(err, errStale) {
+		return true
+	}
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.code == http.StatusConflict || he.code == http.StatusBadRequest
+	}
+	return false
+}
+
+// post sends one JSON request and decodes the JSON reply.
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return &httpStatusError{code: resp.StatusCode, msg: string(msg)}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postRetry wraps post with the worker's outage policy: fatal errors and
+// context cancellation return immediately, anything else (connection
+// refused mid-restart, 503 while the campaign installs, 5xx hiccups)
+// retries with backoff until the retry window closes.
+func (w *Worker) postRetry(ctx context.Context, path string, body, out any) error {
+	deadline := time.Now().Add(w.RetryWindow)
+	backoff := 250 * time.Millisecond
+	for {
+		err := w.post(ctx, path, body, out)
+		if err == nil || ctx.Err() != nil || isFatal(err) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: coordinator %s unreachable for %s: %w", w.base, w.RetryWindow, err)
+		}
+		w.Logf("dist: %s %s: %v (retrying)", w.Name, path, err)
+		if !sleepCtx(ctx, backoff) {
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx ends, reporting whether it slept fully.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -76,6 +76,11 @@ func Classify(err error) Class {
 	if errors.As(err, &tr) && tr.Transient() {
 		return ClassTransient
 	}
+	// A deserialized failure carries its original class across the wire.
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Class
+	}
 	var pe *PanicError
 	if errors.As(err, &pe) {
 		return ClassPanic

@@ -81,18 +81,59 @@ type Result struct {
 	Resumed bool
 }
 
-// Progress is the snapshot passed to an engine's progress hook each time a
-// job finishes. Hook invocations are serialized by the engine.
+// Progress is the snapshot passed to a runner's progress hook each time a
+// job finishes. Hook invocations are serialized by the runner (the local
+// engine and the distributed coordinator alike).
 type Progress struct {
 	// Done and Failed count finished and failed jobs so far; Total is the
 	// size of the job set.
 	Done, Failed, Total int
+	// Executed counts jobs that actually ran this campaign — Done minus
+	// journal-resumed results — and is the basis of the ETA.
+	Executed int
 	// Job and Err describe the job that just finished.
 	Job Job
 	Err error
 	// Wall is the finished job's wall time; Elapsed is the time since the
 	// Run call started.
 	Wall, Elapsed time.Duration
+	// ETA estimates the time to drain the remaining jobs at the campaign's
+	// observed throughput (Metrics.Throughput over the executed jobs so
+	// far); zero until a first executed job establishes a rate.
+	ETA time.Duration
+	// Worker names the remote worker that executed the job in distributed
+	// campaigns; empty for local runs.
+	Worker string
+}
+
+// Line renders the standard one-line progress report the CLIs print to
+// stderr for every finished job.
+func (p Progress) Line() string {
+	status := "ok"
+	if p.Err != nil {
+		status = fmt.Sprintf("FAIL [%s]: %s", Classify(p.Err), p.Err)
+	}
+	s := fmt.Sprintf("[%d/%d] %-28s %8.2fs", p.Done, p.Total, p.Job, p.Wall.Seconds())
+	if p.Worker != "" {
+		s += "  " + p.Worker
+	}
+	s += "  " + status
+	if p.ETA > 0 {
+		s += fmt.Sprintf("  (eta %s)", p.ETA.Round(100*time.Millisecond))
+	}
+	return s
+}
+
+// progressETA estimates the time to finish total-done jobs given that
+// executed of the done jobs ran in elapsed wall time. It derives the rate
+// through Metrics.Throughput so the progress line and the end-of-run
+// summary can never disagree about what "jobs per second" means.
+func progressETA(executed, done, total int, elapsed time.Duration) time.Duration {
+	tput := Metrics{Jobs: done, Resumed: done - executed, Elapsed: elapsed}.Throughput()
+	if tput <= 0 || total <= done {
+		return 0
+	}
+	return time.Duration(float64(total-done) / tput * float64(time.Second))
 }
 
 // Metrics summarizes one Run invocation.
@@ -144,6 +185,16 @@ const (
 // failure or the Run context ended before they started.
 var ErrCanceled = errors.New("exp: job canceled after earlier failure")
 
+// Runner executes a job set and returns one Result per job in submission
+// order plus aggregate metrics — the contract every campaign consumer
+// (the CLIs, report.CollectParallel) programs against. *Engine is the
+// in-process runner; dist.Coordinator satisfies the same interface by
+// fanning the jobs out to remote workers.
+type Runner interface {
+	Run(jobs []Job) ([]Result, Metrics, error)
+	RunContext(ctx context.Context, jobs []Job) ([]Result, Metrics, error)
+}
+
 // Engine executes job sets. The zero value is usable (CollectAll mode,
 // GOMAXPROCS workers, no retries); New is a convenience for setting the
 // pool size. An engine may run many job sets; its instance cache persists
@@ -171,6 +222,8 @@ type Engine struct {
 	cacheOnce sync.Once
 	cache     *InstanceCache
 }
+
+var _ Runner = (*Engine)(nil)
 
 // New creates an engine with the given worker-pool bound (<= 0 means
 // GOMAXPROCS).
@@ -295,10 +348,13 @@ func (e *Engine) RunContext(parent context.Context, jobs []Job) ([]Result, Metri
 					}
 				}
 				if e.OnProgress != nil {
+					elapsed := time.Since(start)
 					e.OnProgress(Progress{
 						Done: done, Failed: failed, Total: len(jobs),
-						Job: jobs[i], Err: r.Err,
-						Wall: r.Wall, Elapsed: time.Since(start),
+						Executed: done - resumed,
+						Job:      jobs[i], Err: r.Err,
+						Wall: r.Wall, Elapsed: elapsed,
+						ETA: progressETA(done-resumed, done, len(jobs), elapsed),
 					})
 				}
 				mu.Unlock()

@@ -10,7 +10,6 @@ import (
 	"io/fs"
 	"os"
 	"sync"
-	"time"
 
 	"ilsim/internal/stats"
 )
@@ -32,22 +31,15 @@ type journalHeader struct {
 	Jobs    []string `json:"jobs"`
 }
 
-// journalEntry is one completed job, success or failure. Successes carry
-// the full stats.Run plus a hash of its fingerprint so corruption is
-// detected at load; failures carry the error text and its class for the
-// record (they are re-executed on resume — a crash or transient deserves
-// another chance).
+// journalEntry is one completed job, success or failure, in the shared
+// WireResult encoding (the same bytes a distributed worker streams to its
+// coordinator). Successes carry the full stats.Run plus a hash of its
+// fingerprint so corruption is detected at load; failures carry the error
+// text and its class for the record (they are re-executed on resume — a
+// crash or transient deserves another chance).
 type journalEntry struct {
-	Type     string     `json:"type"` // "result"
-	Index    int        `json:"index"`
-	Job      string     `json:"job"` // fingerprint; must match the header
-	JobName  string     `json:"jobName"`
-	Attempts int        `json:"attempts"`
-	WallNS   int64      `json:"wallNs"`
-	Err      string     `json:"err,omitempty"`
-	ErrClass string     `json:"errClass,omitempty"`
-	Run      *stats.Run `json:"run,omitempty"`
-	RunSHA   string     `json:"runSha,omitempty"`
+	Type string `json:"type"` // "result"
+	WireResult
 }
 
 // Journal persists completed results of one job set as JSONL, one fsynced
@@ -160,13 +152,14 @@ func (j *Journal) admit(e journalEntry) error {
 	if e.Job != j.fps[e.Index] {
 		return fmt.Errorf("%w: entry for job %d", ErrJournalMismatch, e.Index)
 	}
-	if e.Err != "" || e.Run == nil {
+	if e.Err != "" {
 		return nil // recorded failure: kept on disk, re-executed on resume
 	}
-	if got := runSHA(e.Run); got != e.RunSHA {
-		return fmt.Errorf("result for job %d fails its integrity hash", e.Index)
+	r, err := e.Decode()
+	if err != nil {
+		return err
 	}
-	j.done[e.Index] = Result{Run: e.Run, Wall: time.Duration(e.WallNS)}
+	j.done[e.Index] = Result{Run: r.Run, Wall: r.Wall}
 	return nil
 }
 
@@ -205,17 +198,7 @@ func (j *Journal) Record(index int, r Result) error {
 	if index < 0 || index >= len(j.fps) {
 		return fmt.Errorf("exp: journal: index %d out of range", index)
 	}
-	e := journalEntry{
-		Type: "result", Index: index, Job: j.fps[index],
-		JobName: r.Job.String(), Attempts: r.Attempts, WallNS: int64(r.Wall),
-	}
-	if r.Err != nil {
-		e.Err = r.Err.Error()
-		e.ErrClass = Classify(r.Err).String()
-	} else {
-		e.Run = r.Run
-		e.RunSHA = runSHA(r.Run)
-	}
+	e := journalEntry{Type: "result", WireResult: EncodeResult(index, j.fps[index], r)}
 	if err := j.append(e); err != nil {
 		return err
 	}
@@ -238,6 +221,9 @@ func (j *Journal) append(v any) error {
 	b = append(b, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("exp: journal %s is closed", j.path)
+	}
 	if _, err := j.f.Write(b); err != nil {
 		return err
 	}

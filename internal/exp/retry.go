@@ -3,6 +3,7 @@ package exp
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -27,6 +28,25 @@ type RetryPolicy struct {
 	Jitter float64
 	// Retryable decides which errors retry (default IsTransient).
 	Retryable func(error) bool
+	// Rand, when non-nil, supplies the jitter's randomness — seed it for
+	// reproducible backoff sequences (the fault-injection tests do). Calls
+	// are serialized internally, so one policy shared across engine
+	// workers stays safe. Nil falls back to the global math/rand source.
+	Rand *rand.Rand
+}
+
+// jitterMu serializes draws from a policy's seeded Rand: *rand.Rand is not
+// goroutine-safe, and one policy is shared by every engine worker.
+var jitterMu sync.Mutex
+
+// jitterFloat draws the jitter sample from the policy's source.
+func (p RetryPolicy) jitterFloat() float64 {
+	if p.Rand != nil {
+		jitterMu.Lock()
+		defer jitterMu.Unlock()
+		return p.Rand.Float64()
+	}
+	return rand.Float64()
 }
 
 // ShouldRetry reports whether a job that failed with err on its attempt-th
@@ -66,7 +86,7 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 		jitter = 0.5
 	}
 	if jitter > 0 {
-		d *= 1 + jitter*(2*rand.Float64()-1)
+		d *= 1 + jitter*(2*p.jitterFloat()-1)
 	}
 	if d < 0 {
 		d = 0

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -168,7 +169,10 @@ func TestTimeoutKillsHangingJob(t *testing.T) {
 func TestRetryTransientThenSuccess(t *testing.T) {
 	jobs := tinyJobs(t, 1)
 	eng := New(2)
-	eng.Retry = RetryPolicy{MaxRetries: 3, BaseDelay: time.Microsecond, Jitter: -1}
+	// A seeded jitter source keeps the backoff schedule reproducible run
+	// to run, so timing-sensitive fault schedules cannot flake.
+	eng.Retry = RetryPolicy{MaxRetries: 3, BaseDelay: time.Microsecond,
+		Rand: rand.New(rand.NewSource(42))}
 	eng.Faults = NewFaultPlan()
 	eng.Faults.Set(jobs[0].String(), Fault{FailAttempts: 2, Err: Transient(errors.New("flaky prep"))})
 
@@ -215,7 +219,8 @@ func TestRetrySkipsPermanentErrors(t *testing.T) {
 func TestRetryGivesUpAtMaxRetries(t *testing.T) {
 	jobs := tinyJobs(t, 1)
 	eng := New(1)
-	eng.Retry = RetryPolicy{MaxRetries: 2, BaseDelay: time.Microsecond, Jitter: -1}
+	eng.Retry = RetryPolicy{MaxRetries: 2, BaseDelay: time.Microsecond,
+		Rand: rand.New(rand.NewSource(7))}
 	eng.Faults = NewFaultPlan()
 	eng.Faults.Set(jobs[0].String(), Fault{FailAttempts: 99, Err: Transient(errors.New("always flaky"))})
 

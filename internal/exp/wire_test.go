@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wireResultFor executes one tiny job and encodes its result, giving the
+// round-trip tests a real stats.Run to carry.
+func wireResultFor(t *testing.T) (Job, WireResult) {
+	t.Helper()
+	jobs := tinyJobs(t, 1)[:1]
+	results, _, err := New(1).Run(jobs)
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("run: %v / %v", err, results[0].Err)
+	}
+	return jobs[0], EncodeResult(0, jobs[0].Fingerprint(), results[0])
+}
+
+// TestWireResultRoundTrip proves a successful result survives
+// JSON + Decode with its run fingerprint intact — the byte-identity the
+// distributed campaign's determinism guarantee rests on.
+func TestWireResultRoundTrip(t *testing.T) {
+	_, w := wireResultFor(t)
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	r, err := back.Decode()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if r.Err != nil || r.Run == nil {
+		t.Fatalf("decoded result: err %v, run %v", r.Err, r.Run)
+	}
+	if string(r.Run.Fingerprint()) != string(w.Run.Fingerprint()) {
+		t.Fatal("run fingerprint changed across the wire")
+	}
+	if r.Wall != time.Duration(w.WallNS) || r.Attempts != w.Attempts {
+		t.Fatalf("wall/attempts lost: %v/%d", r.Wall, r.Attempts)
+	}
+}
+
+// TestWireResultIntegrity tampers with a serialized run and expects Decode
+// to reject it.
+func TestWireResultIntegrity(t *testing.T) {
+	_, w := wireResultFor(t)
+	w.Run.Cycles++
+	if _, err := w.Decode(); err == nil || !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("tampered result decoded: %v", err)
+	}
+	w.Run = nil
+	if _, err := w.Decode(); err == nil {
+		t.Fatal("run-less success decoded")
+	}
+}
+
+// TestWireResultErrorClassSurvives encodes each failure class and checks
+// Classify agrees on the decoded side, so remote failures keep their
+// retry/report semantics.
+func TestWireResultErrorClassSurvives(t *testing.T) {
+	job := tinyJobs(t, 1)[0]
+	for _, class := range []Class{ClassTransient, ClassPermanent, ClassTimeout, ClassBudget, ClassPanic} {
+		var err error
+		switch class {
+		case ClassTransient:
+			err = Transient(errors.New("flaky"))
+		case ClassPermanent:
+			err = errors.New("deterministic")
+		case ClassTimeout:
+			err = context.DeadlineExceeded
+		case ClassBudget:
+			err = ErrBudgetExceeded
+		case ClassPanic:
+			err = &PanicError{Job: job.String(), Value: "boom"}
+		}
+		w := EncodeResult(0, job.Fingerprint(), Result{Job: job, Err: err, Attempts: 1})
+		r, derr := w.Decode()
+		if derr != nil {
+			t.Fatalf("%s: decode: %v", class, derr)
+		}
+		if got := Classify(r.Err); got != class {
+			t.Errorf("class %s became %s after the wire", class, got)
+		}
+	}
+}
+
+// TestParseClassRoundTrip checks every class name parses back, and unknown
+// names land on the conservative ClassPermanent.
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range []Class{ClassOK, ClassTransient, ClassPermanent,
+		ClassCanceled, ClassTimeout, ClassBudget, ClassPanic} {
+		if got := ParseClass(c.String()); got != c {
+			t.Errorf("ParseClass(%q) = %s", c.String(), got)
+		}
+	}
+	if got := ParseClass("martian"); got != ClassPermanent {
+		t.Errorf("unknown class parsed as %s", got)
+	}
+}
+
+// TestJobSetFingerprint pins the handshake identity: stable across calls,
+// sensitive to any job change and to job order.
+func TestJobSetFingerprint(t *testing.T) {
+	jobs := tinyJobs(t, 2)
+	if JobSetFingerprint(jobs) != JobSetFingerprint(jobs) {
+		t.Fatal("fingerprint unstable")
+	}
+	reordered := []Job{jobs[1], jobs[0], jobs[2], jobs[3]}
+	if JobSetFingerprint(jobs) == JobSetFingerprint(reordered) {
+		t.Fatal("fingerprint ignores job order")
+	}
+	changed := append([]Job(nil), jobs...)
+	changed[0].Scale++
+	if JobSetFingerprint(jobs) == JobSetFingerprint(changed) {
+		t.Fatal("fingerprint ignores job content")
+	}
+}
+
+// TestRetryBackoffSeededReproducible is the fault-injection suite's
+// reproducibility contract: two policies with equally seeded sources
+// produce identical backoff sequences; differently seeded ones diverge.
+func TestRetryBackoffSeededReproducible(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second,
+			Jitter: 0.5, Rand: rand.New(rand.NewSource(seed))}
+		var ds []time.Duration
+		for a := 1; a <= 6; a++ {
+			ds = append(ds, p.Backoff(a))
+		}
+		return ds
+	}
+	a, b := mk(1), mk(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	c := mk(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}

@@ -64,13 +64,13 @@ func SuiteJobs(cfg core.Config, scale int, withHW bool) []exp.Job {
 	return jobs
 }
 
-// CollectParallel runs the whole suite through the given experiment engine
-// — one flat job set the engine spreads over its worker pool, with
-// instance preparation shared between the runs of each workload. Results
+// CollectParallel runs the whole suite through the given runner — a local
+// engine that spreads one flat job set over its worker pool, or a
+// dist.Coordinator that leases the same set to remote workers. Results
 // are assembled in Table 5 order. Every figure needs every run, so ANY
 // failed job fails the collection; the returned error enumerates all
 // failures with their classes so one rerun can address them together.
-func CollectParallel(eng *exp.Engine, cfg core.Config, scale int, withHW bool) (*Results, error) {
+func CollectParallel(eng exp.Runner, cfg core.Config, scale int, withHW bool) (*Results, error) {
 	results, _, err := eng.Run(SuiteJobs(cfg, scale, withHW))
 	if err != nil {
 		return nil, fmt.Errorf("report: %w", err)
@@ -421,6 +421,13 @@ func (r *Results) Markdown(cfg core.Config) string {
 	b.WriteString("regeneration, re-running only unfinished jobs. Failures classify as\n")
 	b.WriteString("transient/permanent/canceled/timeout/budget-exceeded/panic (see README\n")
 	b.WriteString("\"Robust campaigns\").\n\n")
+	b.WriteString("The suite also distributes: `ilsim-report -serve :9666` leases the same\n")
+	b.WriteString("job set to `ilsim-workerd` processes on other machines. The journal stays\n")
+	b.WriteString("on the coordinator — workers are stateless and need no shared filesystem —\n")
+	b.WriteString("and every accepted result is fsynced before it is acknowledged, so killing\n")
+	b.WriteString("and resuming the coordinator re-leases only unfinished jobs, no matter\n")
+	b.WriteString("which machine ran the rest. Results assemble in submission order, making\n")
+	b.WriteString("the figures byte-identical to a single-machine run.\n\n")
 	fmt.Fprintf(&b, "Input scale: %d. Simulated configuration (Table 4):\n\n```\n%s\n```\n", r.Scale, cfg.String())
 	b.WriteString(r.PaperComparison())
 	b.WriteString(r.Fig1())
