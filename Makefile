@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-sweep
 
 check: fmt vet build test
 
@@ -24,7 +24,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/core/... ./cmd/...
+	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/core/... \
+		./internal/timing/... ./internal/stats/... ./cmd/...
 
+# bench measures simulator throughput (the PR 4 hot-path metric) and archives
+# it as JSON for cross-commit comparison.
 bench:
+	$(GO) test -run '^$$' -bench BenchmarkSimulatorThroughput -benchtime 10x -benchmem . \
+		| $(GO) run ./cmd/ilsim-benchjson -out BENCH_PR4.json
+	@cat BENCH_PR4.json
+
+# bench-sweep measures experiment-engine scheduling overhead.
+bench-sweep:
 	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -benchtime 3x .

@@ -1,0 +1,129 @@
+// Command ilsim-benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark results can be archived as
+// artifacts and compared across commits without re-parsing free text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSimulatorThroughput -benchmem . | ilsim-benchjson -out BENCH.json
+//	ilsim-benchjson < bench.txt          # JSON to stdout
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value for every "<value> <unit>" pair on the
+	// line (ns/op, B/op, allocs/op, and any b.ReportMetric custom unit).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole parsed run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ilsim-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses `go test -bench` text from in and writes JSON; split from main
+// for the smoke tests.
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("ilsim-benchjson", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	outPath := fs.String("out", "", "write JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+// parse consumes go-test benchmark output: metadata headers ("goos: linux"),
+// benchmark lines ("BenchmarkX-8  10  123 ns/op  456 custom/unit"), and
+// anything else (PASS, ok, test logs) ignored.
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+func parseBenchLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder is (value, unit) pairs.
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd value/unit fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value %q in %q: %w", rest[i], line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

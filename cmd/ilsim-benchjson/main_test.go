@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ilsim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSimulatorThroughput/HSAIL         	      10	  18712627 ns/op	   1082492 siminsts/s	  711874 B/op	    4562 allocs/op
+BenchmarkSimulatorThroughput/GCN3          	      10	  28545646 ns/op	   1682267 siminsts/s	  719258 B/op	    4732 allocs/op
+PASS
+ok  	ilsim	0.506s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "ilsim" {
+		t.Fatalf("metadata: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	h := rep.Benchmarks[0]
+	if h.Name != "BenchmarkSimulatorThroughput/HSAIL" || h.Iterations != 10 {
+		t.Fatalf("first benchmark: %+v", h)
+	}
+	if h.Metrics["siminsts/s"] != 1082492 || h.Metrics["allocs/op"] != 4562 {
+		t.Fatalf("metrics: %v", h.Metrics)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-out", out}, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 || rep.CPU == "" {
+		t.Fatalf("round-trip: %+v", rep)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\n"), os.Stdout); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}

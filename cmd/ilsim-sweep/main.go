@@ -42,6 +42,7 @@ import (
 	"ilsim/internal/core"
 	"ilsim/internal/dist"
 	"ilsim/internal/exp"
+	"ilsim/internal/prof"
 )
 
 func main() {
@@ -71,9 +72,22 @@ func run(args []string, out, errw io.Writer) error {
 	resume := fs.Bool("resume", false, "reuse an existing -journal file, re-running only unfinished jobs")
 	serve := fs.String("serve", "", "coordinate the sweep over HTTP on this address instead of running it locally")
 	connect := fs.String("connect", "", "run as a worker executing leases from the coordinator at this address")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	debugPprof := fs.Bool("pprof", false, "with -serve: expose net/http/pprof handlers on the coordinator's status mux")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(errw, "ilsim-sweep:", perr)
+		}
+	}()
 	if *resume && *journalPath == "" {
 		return errors.New("-resume requires -journal")
 	}
@@ -141,6 +155,7 @@ func run(args []string, out, errw io.Writer) error {
 			Journal:    journal,
 			OnProgress: onProgress,
 			Logf:       func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) },
+			DebugPprof: *debugPprof,
 		})
 		if err := c.Start(); err != nil {
 			return err

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,8 +53,18 @@ func run(args []string, out, errw io.Writer) error {
 	retries := fs.Int("retries", 0, "local retries per transiently failing job")
 	window := fs.Duration("window", 2*time.Minute, "how long to retry an unreachable coordinator before giving up")
 	verbose := fs.Bool("v", false, "log lifecycle events to stderr")
+	debugAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen %s: %w", *debugAddr, err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(errw, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, dist.NewDebugMux("ilsim-workerd"))
 	}
 	if *connect == "" {
 		return errors.New("-connect is required")

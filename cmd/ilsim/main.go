@@ -25,6 +25,7 @@ import (
 	"ilsim/internal/core"
 	"ilsim/internal/exp"
 	"ilsim/internal/isa"
+	"ilsim/internal/prof"
 	"ilsim/internal/stats"
 	"ilsim/internal/workloads"
 )
@@ -55,9 +56,22 @@ func run(args []string, out, errw io.Writer) error {
 	banks := fs.Int("banks", 0, "override the VRF bank count")
 	wfSlots := fs.Int("wfslots", 0, "override wavefront slots per CU")
 	l1iKB := fs.Int("l1i", 0, "override the I-cache size in KB")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	noSkip := fs.Bool("noskip", false, "disable cycle skipping (tick every cycle; identical results, for verification)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(errw, "ilsim:", perr)
+		}
+	}()
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -85,7 +99,7 @@ func run(args []string, out, errw io.Writer) error {
 		cfg.L1ISize = *l1iKB << 10
 	}
 	opts := core.RunOptions{TrackValues: *values, ValueSampleEvery: 4, TrackReuse: *reuse,
-		MaxCycles: *maxCycles}
+		MaxCycles: *maxCycles, DisableCycleSkipping: *noSkip}
 
 	var targets []core.Abstraction
 	switch *abs {

@@ -33,6 +33,13 @@ type RunOptions struct {
 	// CheckEvery is the watchdog poll period in simulated cycles
 	// (0 = timing.DefaultCheckEvery).
 	CheckEvery int
+
+	// DisableCycleSkipping forces the timing core to tick every cycle
+	// instead of skipping provably-inert spans. Statistics are
+	// byte-identical either way; this is a debugging/verification knob
+	// (the determinism regression test runs both and compares
+	// fingerprints).
+	DisableCycleSkipping bool
 }
 
 // Simulator runs workloads on the timed GPU model under either abstraction.
@@ -98,6 +105,7 @@ func (s *Simulator) RunContext(ctx context.Context, abs Abstraction, workload st
 		wd.Ctx = ctx
 	}
 	gpu.WD = wd
+	gpu.NoSkip = opts.DisableCycleSkipping
 	for {
 		if ctx != nil && ctx.Err() != nil {
 			return nil, nil, fmt.Errorf("core: %s/%s: run canceled: %w", workload, abs, context.Cause(ctx))

@@ -33,6 +33,11 @@ type Options struct {
 	// Logf, when non-nil, receives coordinator lifecycle events (worker
 	// joins, lease reassignments, refused handshakes).
 	Logf func(format string, args ...any)
+	// DebugPprof exposes net/http/pprof handlers under /debug/pprof/ on
+	// the coordinator's mux, so a long campaign can be profiled live
+	// (`go tool pprof http://coordinator/debug/pprof/profile`). Off by
+	// default: the endpoints reveal runtime internals.
+	DebugPprof bool
 }
 
 // Coordinator serves one campaign at a time to remote workers and
@@ -81,6 +86,9 @@ func (c *Coordinator) Start() error {
 	mux.HandleFunc("POST /result", c.handleResult)
 	mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("GET /status", c.handleStatus)
+	if c.opts.DebugPprof {
+		registerPprof(mux)
+	}
 	c.ln = ln
 	c.srv = &http.Server{Handler: mux}
 	go c.srv.Serve(ln)

@@ -1,0 +1,31 @@
+package dist
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// registerPprof mounts the standard net/http/pprof handlers on mux. The
+// stdlib only auto-registers them on http.DefaultServeMux; the coordinator
+// and worker daemon use private muxes, so the debug endpoints are mounted
+// explicitly and only when asked for.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewDebugMux returns a mux serving the pprof endpoints plus a trivial
+// liveness page at /, for processes (like the worker daemon) that have no
+// HTTP surface of their own to mount the profiler on.
+func NewDebugMux(name string) *http.ServeMux {
+	mux := http.NewServeMux()
+	registerPprof(mux)
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(name + ": ok\nprofiling: /debug/pprof/\n"))
+	})
+	return mux
+}

@@ -25,16 +25,31 @@ type GCN3Engine struct {
 	Base uint64
 
 	prog *gcn3.Program
+	// infos is the per-PC decode cache: scheduling metadata is static per
+	// instruction, so Peek is a table lookup on the hot path.
+	infos []InstInfo
+
+	// vs0..vdst are vector's lane scratch buffers, hoisted to the engine
+	// so the hot path does not zero 2KB of stack per instruction. Reuse is
+	// safe because sources are filled for all lanes (readVecSrc) and dst
+	// is both written and consumed under EXEC (perLane / writeVecDst), so
+	// stale lanes are never observable.
+	vs0, vs1, vs2, vdst [isa.WavefrontSize]uint64
 }
 
 var _ Engine = (*GCN3Engine)(nil)
 
 // NewGCN3Engine prepares a loaded code object for execution.
 func NewGCN3Engine(ctx *hsa.Context, co *gcn3.CodeObject, d *hsa.Dispatch, base uint64, col *Collector) *GCN3Engine {
-	if co.Program.PCs == nil || len(co.Program.PCs) != len(co.Program.Insts) {
+	if co.Program.PCs == nil || co.Program.ByPCStale() {
 		co.Program.Layout()
 	}
-	return &GCN3Engine{Ctx: ctx, CO: co, D: d, Col: col, Base: base, prog: co.Program}
+	e := &GCN3Engine{Ctx: ctx, CO: co, D: d, Col: col, Base: base, prog: co.Program}
+	e.infos = make([]InstInfo, len(e.prog.Insts))
+	for i := range e.infos {
+		e.infos[i] = e.decodeInfo(i)
+	}
+	return e
 }
 
 // Abstraction identifies the engine.
@@ -117,15 +132,20 @@ func (e *GCN3Engine) NewWave(wg *WGState, waveID int) *Wave {
 	return w
 }
 
-// Peek decodes the instruction at w.PC into scheduling metadata.
-func (e *GCN3Engine) Peek(w *Wave) (InstInfo, error) {
+// Peek returns the decode-cache entry for the instruction at w.PC.
+func (e *GCN3Engine) Peek(w *Wave) (*InstInfo, error) {
 	idx, err := e.idxOf(w.PC)
 	if err != nil {
-		return InstInfo{}, err
+		return nil, err
 	}
+	return &e.infos[idx], nil
+}
+
+// decodeInfo builds the scheduling metadata of instruction idx.
+func (e *GCN3Engine) decodeInfo(idx int) InstInfo {
 	in := &e.prog.Insts[idx]
 	info := InstInfo{
-		PC:        w.PC,
+		PC:        e.Base + e.prog.PCs[idx],
 		SizeBytes: in.SizeBytes(),
 		Category:  in.Category(),
 		WaitVM:    -1,
@@ -189,7 +209,7 @@ func (e *GCN3Engine) Peek(w *Wave) (InstInfo, error) {
 			info.LatClass = LatALU
 		}
 	}
-	return info, nil
+	return info
 }
 
 // readScalar reads a scalar operand of the given register width.
@@ -304,6 +324,20 @@ func (e *GCN3Engine) writeVecDst(w *Wave, o gcn3.Operand, width int, vals *[isa.
 	}
 }
 
+// gcn3UnKind and gcn3BinKind map vector ALU opcodes to evaluator kinds
+// (hoisted to package scope so execution does not rebuild them per
+// instruction).
+var gcn3UnKind = map[gcn3.Op]unOpKind{
+	gcn3.OpVRcp: unRcp, gcn3.OpVSqrt: unSqrt, gcn3.OpVRsq: unRsqrt,
+}
+
+var gcn3BinKind = map[gcn3.Op]binOpKind{
+	gcn3.OpVAdd: binAdd, gcn3.OpVSub: binSub, gcn3.OpVMul: binMul,
+	gcn3.OpVMulLo: binMul, gcn3.OpVMulHi: binMulHi,
+	gcn3.OpVMin: binMin, gcn3.OpVMax: binMax, gcn3.OpVAnd: binAnd,
+	gcn3.OpVOr: binOr, gcn3.OpVXor: binXor,
+}
+
 // Execute commits the instruction at w.PC.
 func (e *GCN3Engine) Execute(w *Wave) (ExecResult, error) {
 	idx, err := e.idxOf(w.PC)
@@ -311,13 +345,10 @@ func (e *GCN3Engine) Execute(w *Wave) (ExecResult, error) {
 		return ExecResult{}, err
 	}
 	in := &e.prog.Insts[idx]
-	info, err := e.Peek(w)
-	if err != nil {
-		return ExecResult{}, err
-	}
-	res := ExecResult{Info: info, ActiveLanes: w.Exec.PopCount()}
+	info := &e.infos[idx]
+	res := ExecResult{ActiveLanes: w.Exec.PopCount()}
 	e.Col.TickReuse(w)
-	seqPC := w.PC + uint64(in.SizeBytes())
+	seqPC := w.PC + uint64(info.SizeBytes)
 	nextPC := seqPC
 
 	switch in.Op {
@@ -456,9 +487,11 @@ func (e *GCN3Engine) Execute(w *Wave) (ExecResult, error) {
 		res.MemKind = MemScalar
 		first := addr &^ (mem.LineSize - 1)
 		last := (addr + uint64(4*n) - 1) &^ (mem.LineSize - 1)
+		w.linesBuf = w.linesBuf[:0]
 		for l := first; l <= last; l += mem.LineSize {
-			res.Lines = append(res.Lines, l)
+			w.linesBuf = append(w.linesBuf, l)
 		}
+		res.Lines = w.linesBuf
 
 	// ---- Vector ALU ----
 	default:
@@ -474,7 +507,7 @@ func (e *GCN3Engine) Execute(w *Wave) (ExecResult, error) {
 
 // vector executes VALU, FLAT and DS operations.
 func (e *GCN3Engine) vector(w *Wave, in *gcn3.Inst, res *ExecResult) error {
-	var s0, s1, s2, dst [isa.WavefrontSize]uint64
+	s0, s1, s2, dst := &e.vs0, &e.vs1, &e.vs2, &e.vdst
 	t := in.Type
 	read := func(i int, buf *[isa.WavefrontSize]uint64) {
 		st := t
@@ -493,34 +526,27 @@ func (e *GCN3Engine) vector(w *Wave, in *gcn3.Inst, res *ExecResult) error {
 
 	switch in.Op {
 	case gcn3.OpVMov:
-		read(0, &s0)
+		read(0, s0)
 		perLane(func(l int) { dst[l] = s0[l] })
-		e.writeVecDst(w, in.Dst, in.DstRegs(), &dst)
+		e.writeVecDst(w, in.Dst, in.DstRegs(), dst)
 	case gcn3.OpVNot:
-		read(0, &s0)
+		read(0, s0)
 		perLane(func(l int) { dst[l] = uint64(^uint32(s0[l])) })
-		e.writeVecDst(w, in.Dst, 1, &dst)
+		e.writeVecDst(w, in.Dst, 1, dst)
 	case gcn3.OpVCvt:
-		read(0, &s0)
+		read(0, s0)
 		perLane(func(l int) { dst[l] = convert(in.Type, in.SrcType, s0[l]) })
-		e.writeVecDst(w, in.Dst, in.Type.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, in.Type.Regs(), dst)
 	case gcn3.OpVRcp, gcn3.OpVSqrt, gcn3.OpVRsq:
-		read(0, &s0)
-		kind := map[gcn3.Op]unOpKind{
-			gcn3.OpVRcp: unRcp, gcn3.OpVSqrt: unSqrt, gcn3.OpVRsq: unRsqrt,
-		}[in.Op]
+		read(0, s0)
+		kind := gcn3UnKind[in.Op]
 		perLane(func(l int) { dst[l] = unOp(kind, t, s0[l]) })
-		e.writeVecDst(w, in.Dst, t.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, t.Regs(), dst)
 	case gcn3.OpVAdd, gcn3.OpVSub, gcn3.OpVMul, gcn3.OpVMulLo, gcn3.OpVMulHi,
 		gcn3.OpVMin, gcn3.OpVMax, gcn3.OpVAnd, gcn3.OpVOr, gcn3.OpVXor:
-		read(0, &s0)
-		read(1, &s1)
-		kind := map[gcn3.Op]binOpKind{
-			gcn3.OpVAdd: binAdd, gcn3.OpVSub: binSub, gcn3.OpVMul: binMul,
-			gcn3.OpVMulLo: binMul, gcn3.OpVMulHi: binMulHi,
-			gcn3.OpVMin: binMin, gcn3.OpVMax: binMax, gcn3.OpVAnd: binAnd,
-			gcn3.OpVOr: binOr, gcn3.OpVXor: binXor,
-		}[in.Op]
+		read(0, s0)
+		read(1, s1)
+		kind := gcn3BinKind[in.Op]
 		bt := t
 		if in.Op == gcn3.OpVMulLo || in.Op == gcn3.OpVMulHi {
 			bt = isa.TypeU32
@@ -539,15 +565,15 @@ func (e *GCN3Engine) vector(w *Wave, in *gcn3.Inst, res *ExecResult) error {
 				}
 			}
 		})
-		e.writeVecDst(w, in.Dst, bt.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, bt.Regs(), dst)
 		if in.SDst.Kind == gcn3.OperVCC {
 			w.VCC = carry
 		} else if in.SDst.Kind == gcn3.OperSGPR {
 			e.writeScalar(w, in.SDst, 2, carry)
 		}
 	case gcn3.OpVAddc:
-		read(0, &s0)
-		read(1, &s1)
+		read(0, s0)
+		read(1, s1)
 		oldVCC := w.VCC
 		var carry uint64
 		perLane(func(l int) {
@@ -558,12 +584,12 @@ func (e *GCN3Engine) vector(w *Wave, in *gcn3.Inst, res *ExecResult) error {
 				carry |= 1 << uint(l)
 			}
 		})
-		e.writeVecDst(w, in.Dst, 1, &dst)
+		e.writeVecDst(w, in.Dst, 1, dst)
 		w.VCC = carry
 	case gcn3.OpVLshl, gcn3.OpVLshr, gcn3.OpVAshr:
 		// rev operand order: src0 is the shift amount.
-		read(0, &s0)
-		read(1, &s1)
+		read(0, s0)
+		read(1, s1)
 		kind := binShl
 		bt := t
 		switch in.Op {
@@ -574,16 +600,16 @@ func (e *GCN3Engine) vector(w *Wave, in *gcn3.Inst, res *ExecResult) error {
 			bt = isa.TypeS32
 		}
 		perLane(func(l int) { dst[l] = binOp(kind, bt, s1[l], s0[l]) })
-		e.writeVecDst(w, in.Dst, t.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, t.Regs(), dst)
 	case gcn3.OpVMad, gcn3.OpVFma:
-		read(0, &s0)
-		read(1, &s1)
-		read(2, &s2)
+		read(0, s0)
+		read(1, s1)
+		read(2, s2)
 		perLane(func(l int) { dst[l] = fma(t, s0[l], s1[l], s2[l]) })
-		e.writeVecDst(w, in.Dst, t.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, t.Regs(), dst)
 	case gcn3.OpVCmp:
-		read(0, &s0)
-		read(1, &s1)
+		read(0, s0)
+		read(1, s1)
 		var m uint64
 		perLane(func(l int) {
 			if compare(in.Cmp, t, s0[l], s1[l]) {
@@ -596,8 +622,8 @@ func (e *GCN3Engine) vector(w *Wave, in *gcn3.Inst, res *ExecResult) error {
 			w.VCC = m
 		}
 	case gcn3.OpVCndmask:
-		read(0, &s0)
-		read(1, &s1)
+		read(0, s0)
+		read(1, s1)
 		sel := e.readScalar(w, in.Srcs[2], 2)
 		perLane(func(l int) {
 			if sel>>uint(l)&1 != 0 {
@@ -606,27 +632,27 @@ func (e *GCN3Engine) vector(w *Wave, in *gcn3.Inst, res *ExecResult) error {
 				dst[l] = s0[l]
 			}
 		})
-		e.writeVecDst(w, in.Dst, 1, &dst)
+		e.writeVecDst(w, in.Dst, 1, dst)
 	case gcn3.OpVDivScale:
 		// Simplified semantics: pass the scaled operand through and clear
 		// VCC; the Newton-Raphson chain does the real work (Table 3).
-		read(0, &s0)
+		read(0, s0)
 		perLane(func(l int) { dst[l] = s0[l] })
-		e.writeVecDst(w, in.Dst, t.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, t.Regs(), dst)
 		w.VCC = 0
 	case gcn3.OpVDivFmas:
-		read(0, &s0)
-		read(1, &s1)
-		read(2, &s2)
+		read(0, s0)
+		read(1, s1)
+		read(2, s2)
 		perLane(func(l int) { dst[l] = fma(t, s0[l], s1[l], s2[l]) })
-		e.writeVecDst(w, in.Dst, t.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, t.Regs(), dst)
 	case gcn3.OpVDivFixup:
 		// src0 = quotient estimate, src1 = denominator, src2 = numerator.
-		read(0, &s0)
-		read(1, &s1)
-		read(2, &s2)
+		read(0, s0)
+		read(1, s1)
+		read(2, s2)
 		perLane(func(l int) { dst[l] = divFixup(t, s0[l], s1[l], s2[l]) })
-		e.writeVecDst(w, in.Dst, t.Regs(), &dst)
+		e.writeVecDst(w, in.Dst, t.Regs(), dst)
 
 	// ---- Flat memory ----
 	case gcn3.OpFlatLoadDword, gcn3.OpFlatLoadDwordx2,
@@ -726,7 +752,8 @@ func (e *GCN3Engine) flat(w *Wave, in *gcn3.Inst, res *ExecResult) error {
 		res.MemWrite = true
 	}
 	res.MemKind = MemGlobal
-	res.Lines = mem.Coalesce(&addrs64, size, w.Exec)
+	w.linesBuf = mem.CoalesceInto(w.linesBuf[:0], &addrs64, size, w.Exec)
+	res.Lines = w.linesBuf
 	return nil
 }
 

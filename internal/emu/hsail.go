@@ -31,6 +31,16 @@ type HSAILEngine struct {
 	flat       []hsail.Inst
 	blockStart []int
 	instBlock  []int
+	// infos is the per-PC decode cache: scheduling metadata is static per
+	// instruction, so Peek is a table lookup on the hot path.
+	infos []InstInfo
+
+	// vs0..vdst are Execute's lane scratch buffers, hoisted to the engine
+	// so the hot path does not zero 2KB of stack per instruction. Reuse is
+	// safe because sources are filled for all lanes (readSrc) and dst is
+	// both written and consumed under EXEC (perLane / writeDst), so stale
+	// lanes are never observable.
+	vs0, vs1, vs2, vdst [isa.WavefrontSize]uint64
 }
 
 var _ Engine = (*HSAILEngine)(nil)
@@ -45,6 +55,10 @@ func NewHSAILEngine(ctx *hsa.Context, k *hsail.Kernel, cfg *kernel.CFG, d *hsa.D
 			e.flat = append(e.flat, in)
 			e.instBlock = append(e.instBlock, b.ID)
 		}
+	}
+	e.infos = make([]InstInfo, len(e.flat))
+	for i := range e.infos {
+		e.infos[i] = e.decodeInfo(i)
 	}
 	return e
 }
@@ -104,15 +118,20 @@ func (e *HSAILEngine) NewWave(wg *WGState, waveID int) *Wave {
 	return w
 }
 
-// Peek decodes the instruction at w.PC into scheduling metadata.
-func (e *HSAILEngine) Peek(w *Wave) (InstInfo, error) {
+// Peek returns the decode-cache entry for the instruction at w.PC.
+func (e *HSAILEngine) Peek(w *Wave) (*InstInfo, error) {
 	idx, err := e.idxOf(w.PC)
 	if err != nil {
-		return InstInfo{}, err
+		return nil, err
 	}
+	return &e.infos[idx], nil
+}
+
+// decodeInfo builds the scheduling metadata of instruction idx.
+func (e *HSAILEngine) decodeInfo(idx int) InstInfo {
 	in := &e.flat[idx]
 	info := InstInfo{
-		PC:        w.PC,
+		PC:        e.pcOf(idx),
 		SizeBytes: hsail.InstBytes,
 		Category:  in.Category(),
 	}
@@ -176,7 +195,7 @@ func (e *HSAILEngine) Peek(w *Wave) (InstInfo, error) {
 		}
 	}
 	info.WaitVM, info.WaitLGKM = -1, -1
-	return info, nil
+	return info
 }
 
 // readSrc gathers a source operand's per-lane raw values.
@@ -240,6 +259,21 @@ func (w *Wave) laneAbsFlatID(lane int) uint64 {
 	return w.WG.Info.FirstAbsFlatID + uint64(w.FirstWI+lane)
 }
 
+// hsailBinKind and hsailUnKind map ALU opcodes to evaluator kinds (hoisted
+// to package scope so Execute does not rebuild them per instruction).
+var hsailBinKind = map[hsail.Op]binOpKind{
+	hsail.OpAdd: binAdd, hsail.OpSub: binSub, hsail.OpMul: binMul,
+	hsail.OpMulHi: binMulHi, hsail.OpDiv: binDiv, hsail.OpRem: binRem,
+	hsail.OpMin: binMin, hsail.OpMax: binMax, hsail.OpAnd: binAnd,
+	hsail.OpOr: binOr, hsail.OpXor: binXor, hsail.OpShl: binShl,
+	hsail.OpShr: binShr,
+}
+
+var hsailUnKind = map[hsail.Op]unOpKind{
+	hsail.OpAbs: unAbs, hsail.OpNeg: unNeg, hsail.OpNot: unNot,
+	hsail.OpSqrt: unSqrt, hsail.OpRsqrt: unRsqrt,
+}
+
 // Execute commits the instruction at w.PC.
 func (e *HSAILEngine) Execute(w *Wave) (ExecResult, error) {
 	idx, err := e.idxOf(w.PC)
@@ -247,15 +281,12 @@ func (e *HSAILEngine) Execute(w *Wave) (ExecResult, error) {
 		return ExecResult{}, err
 	}
 	in := &e.flat[idx]
-	info, err := e.Peek(w)
-	if err != nil {
-		return ExecResult{}, err
-	}
-	res := ExecResult{Info: info, ActiveLanes: w.Exec.PopCount()}
+	info := &e.infos[idx]
+	res := ExecResult{ActiveLanes: w.Exec.PopCount()}
 	e.Col.TickReuse(w)
 	seqPC := w.PC + hsail.InstBytes
 
-	var s0, s1, s2, dst [isa.WavefrontSize]uint64
+	s0, s1, s2, dst := &e.vs0, &e.vs1, &e.vs2, &e.vdst
 	srcT := in.Type
 	if in.SrcType != isa.TypeNone {
 		srcT = in.SrcType
@@ -267,13 +298,13 @@ func (e *HSAILEngine) Execute(w *Wave) (ExecResult, error) {
 			if in.Op == hsail.OpCmov {
 				t = isa.TypeNone
 			}
-			e.readSrc(w, srcs[0], t, &s0)
+			e.readSrc(w, srcs[0], t, s0)
 		}
 		if len(srcs) > 1 {
-			e.readSrc(w, srcs[1], srcT, &s1)
+			e.readSrc(w, srcs[1], srcT, s1)
 		}
 		if len(srcs) > 2 {
-			e.readSrc(w, srcs[2], srcT, &s2)
+			e.readSrc(w, srcs[2], srcT, s2)
 		}
 	}
 
@@ -291,36 +322,27 @@ func (e *HSAILEngine) Execute(w *Wave) (ExecResult, error) {
 	case hsail.OpMov:
 		readSrcs()
 		perLane(func(l int) { dst[l] = s0[l] })
-		e.writeDst(w, in.Dst, in.Type, &dst)
+		e.writeDst(w, in.Dst, in.Type, dst)
 	case hsail.OpCvt:
 		readSrcs()
 		perLane(func(l int) { dst[l] = convert(in.Type, in.SrcType, s0[l]) })
-		e.writeDst(w, in.Dst, in.Type, &dst)
+		e.writeDst(w, in.Dst, in.Type, dst)
 	case hsail.OpAdd, hsail.OpSub, hsail.OpMul, hsail.OpMulHi, hsail.OpDiv,
 		hsail.OpRem, hsail.OpMin, hsail.OpMax, hsail.OpAnd, hsail.OpOr,
 		hsail.OpXor, hsail.OpShl, hsail.OpShr:
 		readSrcs()
-		kind := map[hsail.Op]binOpKind{
-			hsail.OpAdd: binAdd, hsail.OpSub: binSub, hsail.OpMul: binMul,
-			hsail.OpMulHi: binMulHi, hsail.OpDiv: binDiv, hsail.OpRem: binRem,
-			hsail.OpMin: binMin, hsail.OpMax: binMax, hsail.OpAnd: binAnd,
-			hsail.OpOr: binOr, hsail.OpXor: binXor, hsail.OpShl: binShl,
-			hsail.OpShr: binShr,
-		}[in.Op]
+		kind := hsailBinKind[in.Op]
 		perLane(func(l int) { dst[l] = binOp(kind, in.Type, s0[l], s1[l]) })
-		e.writeDst(w, in.Dst, in.Type, &dst)
+		e.writeDst(w, in.Dst, in.Type, dst)
 	case hsail.OpMad, hsail.OpFma:
 		readSrcs()
 		perLane(func(l int) { dst[l] = fma(in.Type, s0[l], s1[l], s2[l]) })
-		e.writeDst(w, in.Dst, in.Type, &dst)
+		e.writeDst(w, in.Dst, in.Type, dst)
 	case hsail.OpAbs, hsail.OpNeg, hsail.OpNot, hsail.OpSqrt, hsail.OpRsqrt:
 		readSrcs()
-		kind := map[hsail.Op]unOpKind{
-			hsail.OpAbs: unAbs, hsail.OpNeg: unNeg, hsail.OpNot: unNot,
-			hsail.OpSqrt: unSqrt, hsail.OpRsqrt: unRsqrt,
-		}[in.Op]
+		kind := hsailUnKind[in.Op]
 		perLane(func(l int) { dst[l] = unOp(kind, in.Type, s0[l]) })
-		e.writeDst(w, in.Dst, in.Type, &dst)
+		e.writeDst(w, in.Dst, in.Type, dst)
 	case hsail.OpCmp:
 		readSrcs()
 		var m uint64
@@ -341,11 +363,11 @@ func (e *HSAILEngine) Execute(w *Wave) (ExecResult, error) {
 				dst[l] = s2[l]
 			}
 		})
-		e.writeDst(w, in.Dst, in.Type, &dst)
+		e.writeDst(w, in.Dst, in.Type, dst)
 	case hsail.OpWorkItemAbsId, hsail.OpWorkItemId, hsail.OpWorkGroupId,
 		hsail.OpWorkGroupSize, hsail.OpGridSize:
-		e.geometry(w, in, &dst)
-		e.writeDst(w, in.Dst, in.Type, &dst)
+		e.geometry(w, in, dst)
+		e.writeDst(w, in.Dst, in.Type, dst)
 	case hsail.OpLda:
 		readSrcs()
 		perLane(func(l int) {
@@ -362,7 +384,7 @@ func (e *HSAILEngine) Execute(w *Wave) (ExecResult, error) {
 			e.Col.OnVRFSlot(w, int(in.Addr.Base.Reg))
 			e.Col.OnVRFSlot(w, int(in.Addr.Base.Reg)+1)
 		}
-		e.writeDst(w, in.Dst, isa.TypeU64, &dst)
+		e.writeDst(w, in.Dst, isa.TypeU64, dst)
 	case hsail.OpLd, hsail.OpSt, hsail.OpAtomicAdd:
 		if err := e.memory(w, in, &res); err != nil {
 			return res, err
@@ -512,7 +534,8 @@ func (e *HSAILEngine) memory(w *Wave, in *hsail.Inst, res *ExecResult) error {
 		res.MemKind = MemNone
 	default:
 		res.MemKind = MemGlobal
-		res.Lines = mem.Coalesce(&addrs, size, w.Exec)
+		w.linesBuf = mem.CoalesceInto(w.linesBuf[:0], &addrs, size, w.Exec)
+		res.Lines = w.linesBuf
 	}
 	return nil
 }

@@ -77,8 +77,6 @@ const (
 
 // ExecResult reports what an executed instruction did.
 type ExecResult struct {
-	Info InstInfo
-
 	// Mem access produced by the instruction.
 	MemKind  MemKind
 	MemWrite bool
@@ -142,6 +140,13 @@ type Wave struct {
 
 	// Reuse tracks vector-register reuse distances when enabled.
 	Reuse *stats.ReuseTracker
+
+	// linesBuf is the wave's reusable coalescing scratch. Execute
+	// overwrites it on every memory instruction and hands it out as
+	// ExecResult.Lines; the timing model consumes the lines before the
+	// wave executes again, so reuse is safe and the steady state
+	// allocates nothing.
+	linesBuf []uint64
 }
 
 // RSEntry is one reconvergence-stack entry: when the wavefront's PC reaches
@@ -237,8 +242,11 @@ type Engine interface {
 	// NewWave creates wavefront state for wave waveID of workgroup wg,
 	// applying the abstraction's launch/ABI initialization.
 	NewWave(wg *WGState, waveID int) *Wave
-	// Peek decodes the instruction at w.PC without executing it.
-	Peek(w *Wave) (InstInfo, error)
+	// Peek returns the scheduling metadata of the instruction at w.PC.
+	// The result points into the engine's per-PC decode cache and is
+	// shared by every wave at that PC: callers must treat it as
+	// read-only.
+	Peek(w *Wave) (*InstInfo, error)
 	// InstString disassembles the instruction at pc (for tracing tools).
 	InstString(pc uint64) string
 	// Execute commits the instruction at w.PC and advances the wavefront.

@@ -347,6 +347,10 @@ type Program struct {
 	// PCs[i] is the byte address of instruction i relative to the kernel
 	// entry (computed by Layout).
 	PCs []uint64
+	// byPC[pc/4] is the index of the instruction starting at byte offset
+	// pc, or -1 for mid-instruction words (computed by Layout; encodings
+	// are 4-byte words, so the table is dense and IndexAt is O(1)).
+	byPC []int32
 	// Size is the total encoded size in bytes.
 	Size int
 }
@@ -360,10 +364,28 @@ func (p *Program) Layout() {
 		off += uint64(p.Insts[i].SizeBytes())
 	}
 	p.Size = int(off)
+	p.byPC = make([]int32, off/4)
+	for i := range p.byPC {
+		p.byPC[i] = -1
+	}
+	for i, pc := range p.PCs {
+		p.byPC[pc/4] = int32(i)
+	}
+}
+
+// ByPCStale reports whether the layout tables need recomputing.
+func (p *Program) ByPCStale() bool {
+	return len(p.PCs) != len(p.Insts) || p.byPC == nil
 }
 
 // IndexAt returns the instruction index at byte offset pc, or -1.
 func (p *Program) IndexAt(pc uint64) int {
+	if p.byPC != nil {
+		if pc%4 == 0 && pc/4 < uint64(len(p.byPC)) {
+			return int(p.byPC[pc/4])
+		}
+		return -1
+	}
 	lo, hi := 0, len(p.PCs)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2

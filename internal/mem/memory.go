@@ -32,6 +32,15 @@ const LineSize = 64
 type Memory struct {
 	pages   map[uint64][]byte
 	touched map[uint64]struct{}
+	// lastBase/lastPage cache the most recently resolved page: simulated
+	// accesses are heavily page-local, so most lookups skip the map.
+	lastBase uint64
+	lastPage []byte
+	// lastLine caches the most recently touched line (valid when
+	// hasLastLine), skipping redundant touched-set inserts for the common
+	// case of consecutive accesses to one line.
+	lastLine    uint64
+	hasLastLine bool
 	// trackFootprint enables touched-line recording.
 	trackFootprint bool
 	// exclLo/exclHi is an address range excluded from footprint tracking
@@ -56,7 +65,10 @@ func (m *Memory) SetFootprintTracking(on bool) { m.trackFootprint = on }
 func (m *Memory) ExcludeFromFootprint(lo, hi uint64) { m.exclLo, m.exclHi = lo, hi }
 
 // ResetFootprint clears the touched-line set.
-func (m *Memory) ResetFootprint() { m.touched = make(map[uint64]struct{}) }
+func (m *Memory) ResetFootprint() {
+	m.touched = make(map[uint64]struct{})
+	m.hasLastLine = false
+}
 
 // FootprintBytes returns the data footprint: touched lines × line size.
 func (m *Memory) FootprintBytes() uint64 {
@@ -65,11 +77,15 @@ func (m *Memory) FootprintBytes() uint64 {
 
 func (m *Memory) page(addr uint64) []byte {
 	base := addr >> PageBits
+	if m.lastPage != nil && base == m.lastBase {
+		return m.lastPage
+	}
 	p, ok := m.pages[base]
 	if !ok {
 		p = make([]byte, PageSize)
 		m.pages[base] = p
 	}
+	m.lastBase, m.lastPage = base, p
 	return p
 }
 
@@ -82,14 +98,22 @@ func (m *Memory) touch(addr uint64, n int) {
 	}
 	first := addr / LineSize
 	last := (addr + uint64(n) - 1) / LineSize
+	if first == last && m.hasLastLine && first == m.lastLine {
+		return
+	}
 	for l := first; l <= last; l++ {
 		m.touched[l] = struct{}{}
 	}
+	m.lastLine, m.hasLastLine = last, true
 }
 
 // Read copies len(dst) bytes at addr into dst.
 func (m *Memory) Read(addr uint64, dst []byte) {
 	m.touch(addr, len(dst))
+	if off := addr & (PageSize - 1); int(off)+len(dst) <= PageSize {
+		copy(dst, m.page(addr)[off:])
+		return
+	}
 	for n := 0; n < len(dst); {
 		off := (addr + uint64(n)) & (PageSize - 1)
 		p := m.page(addr + uint64(n))
@@ -101,6 +125,10 @@ func (m *Memory) Read(addr uint64, dst []byte) {
 // Write copies src into memory at addr.
 func (m *Memory) Write(addr uint64, src []byte) {
 	m.touch(addr, len(src))
+	if off := addr & (PageSize - 1); int(off)+len(src) <= PageSize {
+		copy(m.page(addr)[off:], src)
+		return
+	}
 	for n := 0; n < len(src); {
 		off := (addr + uint64(n)) & (PageSize - 1)
 		p := m.page(addr + uint64(n))

@@ -1,0 +1,45 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	"ilsim/internal/core"
+	"ilsim/internal/exp"
+)
+
+// goldenFingerprints pins sha256(stats.Run.Fingerprint()) for every
+// (workload, abstraction) of the Table 5 suite at scale 1 on the default
+// Table 4 machine. Performance work on the timing core (cycle skipping,
+// allocation-free issue) must leave every run byte-identical: these hashes
+// are the contract. Regenerate with:
+//
+//	ILSIM_UPDATE_GOLDEN=1 go test ./internal/report -run TestGoldenFingerprints -v
+//
+// and paste the printed map — but only when a PR deliberately changes the
+// model, never for a speedup.
+var goldenFingerprints = map[string]string{
+	"ArrayBW/HSAIL":     "49f1b09c3099092fa9bc0bbcc704d31e52aeb8bfcb025092d2c1f9234fa4dc5f",
+	"ArrayBW/GCN3":      "e27c1ee3ba7f496ae50aa86e39f3c44eb977ce8d64fc36062349f15c36b0e995",
+	"BitonicSort/HSAIL": "383120a02b3871d717e4747d31619d7c4c6fc8c88f8a2aad0a5fc0880f4c6f54",
+	"BitonicSort/GCN3":  "c5a0424cd71943a4271fdeced5c1f0e28b107b36c54658cfec25464b463610dc",
+	"CoMD/HSAIL":        "122ee4585b1b2e4a58659a790f68a69704c7571479b877bf613f17b2b03dae1d",
+	"CoMD/GCN3":         "de62ff03fdf95f15fdefafe0ff7df779bd953dd10478b99d3b80b4d0e1cb5036",
+	"FFT/HSAIL":         "91d64330277724ccca343d307dad1e1071bfbd598df1c471b9c598b048f77cdb",
+	"FFT/GCN3":          "03481f94d6f2bdd0708dc7ff886efa0820c0ef0d24d625b971074b62f51b7671",
+	"HPGMG/HSAIL":       "816ab288272c2eaadcce36ca1183b53a6f3c6cc8772ee1a085722570224b9cdb",
+	"HPGMG/GCN3":        "65d99a44a055616a16146e74a1d4b59641859243158e046d52734542379fd11d",
+	"LULESH/HSAIL":      "479934025b96e0d32ece6ede2307fa4eb6e54b94fd013b9f7c1074489de539f5",
+	"LULESH/GCN3":       "38b6744c23e8d71348f6e5e8226fc3f0e86b81f35688c18d512fb700b5cd3ae8",
+	"MD/HSAIL":          "21562e5241414128f6c49f5e93e94c0243fbc98b89b89192de8a96080a2b3090",
+	"MD/GCN3":           "4ff75eb314e71d7a3016df3fb0a2d99539f7039443af15f7ce9870ff086d1b5c",
+	"SNAP/HSAIL":        "92b150a119d5a9206040bf6f1b0e9d7a15bb5afa1c97b6457739f93285b3d3f8",
+	"SNAP/GCN3":         "64ba297220ff8d39db69b3944fb31365e9d213e1bef25732dafe054aeaf2855a",
+	"SpMV/HSAIL":        "8193d18e4ceb27e2af2e68989bdd07988a24f8f34fa39621a02abfee82dbe8ae",
+	"SpMV/GCN3":         "e6a3df2af8e66cf4838c639a831337457f86440a2e4e466f08ae10f304940a04",
+	"XSBench/HSAIL":     "9a55213c084af0b98d92a0160857fdba278f64125ad83a159b93e6a55f2d399d",
+	"XSBench/GCN3":      "d7888b6f06b84e7bbe48bcb8fb2efa0047bb413a00e193d4bb78080b35aecdfb",
+}
+
+// TestGoldenFingerprints runs the full 10-workload suite under both
+// abstractions (with the report's statistics tracking enabled, so the reuse
+// and uniqueness paths are exercised) and requires byte-identical
+// fingerprints against the committed goldens.
+func TestGoldenFingerprints(t *testing.T) {
+	res, err := CollectParallel(exp.New(0), core.DefaultConfig(), 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update := os.Getenv("ILSIM_UPDATE_GOLDEN") != ""
+	if update {
+		fmt.Println("var goldenFingerprints = map[string]string{")
+	}
+	for _, name := range res.Order {
+		p := res.Runs[name]
+		for _, r := range []*struct {
+			abs string
+			sum [32]byte
+		}{
+			{"HSAIL", sha256.Sum256(p.HSAIL.Fingerprint())},
+			{"GCN3", sha256.Sum256(p.GCN3.Fingerprint())},
+		} {
+			key := name + "/" + r.abs
+			got := hex.EncodeToString(r.sum[:])
+			if update {
+				fmt.Printf("\t%q: %q,\n", key, got)
+				continue
+			}
+			want, ok := goldenFingerprints[key]
+			if !ok {
+				t.Errorf("%s: no golden fingerprint committed", key)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: fingerprint drifted: got %s want %s", key, got, want)
+			}
+		}
+	}
+	if update {
+		fmt.Println("}")
+		t.Skip("golden update mode: printed fingerprints, skipping comparison")
+	}
+}

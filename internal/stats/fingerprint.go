@@ -3,7 +3,6 @@ package stats
 import (
 	"bytes"
 	"fmt"
-	"sort"
 )
 
 // HistogramItem is one (value, count) pair of a Histogram.
@@ -13,13 +12,14 @@ type HistogramItem struct {
 }
 
 // Items returns the histogram's observations as (value, count) pairs in
-// ascending value order — a stable serialization of the distribution.
+// ascending value order — a stable serialization of the distribution,
+// independent of the dense/overflow split.
 func (h *Histogram) Items() []HistogramItem {
-	items := make([]HistogramItem, 0, len(h.counts))
-	for v, c := range h.counts {
-		items = append(items, HistogramItem{Value: v, Count: c})
+	keys := h.sortedKeys()
+	items := make([]HistogramItem, 0, len(keys))
+	for _, v := range keys {
+		items = append(items, HistogramItem{Value: v, Count: h.count(v)})
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].Value < items[j].Value })
 	return items
 }
 

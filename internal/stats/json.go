@@ -17,10 +17,20 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	}
 	*h = Histogram{}
 	for _, it := range items {
-		if h.counts == nil {
-			h.counts = make(map[uint32]uint64, len(items))
+		if it.Count == 0 {
+			continue
 		}
-		h.counts[it.Value] = it.Count
+		if it.Value < histDenseSize {
+			if h.dense == nil {
+				h.dense = make([]uint64, histDenseSize)
+			}
+			h.dense[it.Value] = it.Count
+		} else {
+			if h.counts == nil {
+				h.counts = make(map[uint32]uint64, len(items))
+			}
+			h.counts[it.Value] = it.Count
+		}
 		h.n += it.Count
 	}
 	return nil

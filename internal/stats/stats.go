@@ -126,21 +126,76 @@ func (r *Run) String() string {
 		r.Workload, r.Abstraction, r.TotalInsts(), r.Cycles, r.IPC())
 }
 
+// histDenseSize bounds the dense fast path of Histogram: values below it
+// count in a flat array, values at or above it overflow into a map. Reuse
+// distances — the per-register-access workhorse of the Fig 7 tracker — are
+// overwhelmingly small, so the hot Add is two increments and no hashing.
+const histDenseSize = 1024
+
 // Histogram is an exact integer-valued distribution (value → count),
 // compact enough for reuse distances because distinct distances are few
 // relative to accesses.
 type Histogram struct {
+	// dense counts observations of v < histDenseSize (allocated on first
+	// small Add); counts holds the overflow.
+	dense  []uint64
 	counts map[uint32]uint64
 	n      uint64
+	// keys caches the sorted distinct values for Percentile, which report
+	// code calls repeatedly per figure; Add invalidates it.
+	keys []uint32
 }
 
 // Add records one observation.
 func (h *Histogram) Add(v uint32) {
-	if h.counts == nil {
-		h.counts = make(map[uint32]uint64)
+	h.keys = nil
+	if v < histDenseSize {
+		if h.dense == nil {
+			h.dense = make([]uint64, histDenseSize)
+		}
+		h.dense[v]++
+	} else {
+		if h.counts == nil {
+			h.counts = make(map[uint32]uint64)
+		}
+		h.counts[v]++
 	}
-	h.counts[v]++
 	h.n++
+}
+
+// count returns the observation count of one value.
+func (h *Histogram) count(v uint32) uint64 {
+	if v < histDenseSize {
+		if h.dense == nil {
+			return 0
+		}
+		return h.dense[v]
+	}
+	return h.counts[v]
+}
+
+// sortedKeys returns the distinct observed values in ascending order,
+// caching the slice until the next Add.
+func (h *Histogram) sortedKeys() []uint32 {
+	if h.keys != nil || h.n == 0 {
+		return h.keys
+	}
+	keys := make([]uint32, 0, 64+len(h.counts))
+	for v, c := range h.dense {
+		if c > 0 {
+			keys = append(keys, uint32(v))
+		}
+	}
+	// The dense prefix is already ascending and every map key is at least
+	// histDenseSize, so sorting the overflow suffix keeps the whole slice
+	// sorted.
+	tail := len(keys)
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys[tail:], func(i, j int) bool { return keys[tail+i] < keys[tail+j] })
+	h.keys = keys
+	return keys
 }
 
 // N returns the number of observations.
@@ -154,18 +209,14 @@ func (h *Histogram) Percentile(p float64) uint32 {
 	if h.n == 0 {
 		return 0
 	}
-	keys := make([]uint32, 0, len(h.counts))
-	for k := range h.counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := h.sortedKeys()
 	rank := uint64(math.Ceil(p / 100 * float64(h.n)))
 	if rank == 0 {
 		rank = 1
 	}
 	var cum uint64
 	for _, k := range keys {
-		cum += h.counts[k]
+		cum += h.count(k)
 		if cum >= rank {
 			return k
 		}
@@ -179,6 +230,11 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	var sum float64
+	for v, c := range h.dense {
+		if c > 0 {
+			sum += float64(v) * float64(c)
+		}
+	}
 	for k, c := range h.counts {
 		sum += float64(k) * float64(c)
 	}

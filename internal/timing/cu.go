@@ -1,12 +1,16 @@
 package timing
 
 import (
-	"sort"
+	"math"
 
 	"ilsim/internal/emu"
 	"ilsim/internal/isa"
 	"ilsim/internal/mem"
 )
+
+// noEvent marks "no future cycle at which this CU's state can change on its
+// own"; the GPU loop never skips toward it.
+const noEvent = int64(math.MaxInt64)
 
 // waveCtx is a wavefront's timing state in a CU wavefront slot.
 type waveCtx struct {
@@ -27,9 +31,9 @@ type waveCtx struct {
 	fetchEpoch   int // increments on flush; cancels in-flight fetches
 	fetchInEpoch int
 
-	// Decoded next instruction (lazily cached).
-	info   emu.InstInfo
-	infoOK bool
+	// Next instruction's scheduling metadata (points into the engine's
+	// per-PC decode cache; nil until peeked, reset on issue).
+	info *emu.InstInfo
 
 	// HSAIL hardware scoreboard: per-register-slot result-ready cycle.
 	vregReady []int64
@@ -58,6 +62,25 @@ func outstanding(list *[]int64, now int64) int {
 	return len(keep)
 }
 
+// kthSmallest returns the k-th smallest element (1-indexed) of a small
+// unsorted list. Lists here are a wave's outstanding memory completions, so
+// the quadratic scan is cheaper than sorting and never allocates.
+func kthSmallest(list []int64, k int) int64 {
+	best := noEvent
+	for _, v := range list {
+		rank := 0
+		for _, u := range list {
+			if u <= v {
+				rank++
+			}
+		}
+		if rank >= k && v < best {
+			best = v
+		}
+	}
+	return best
+}
+
 // wgRun tracks one workgroup resident on a CU.
 type wgRun struct {
 	wg        *emu.WGState
@@ -74,6 +97,9 @@ type cu struct {
 	l1i *mem.Cache
 	sl1 *mem.Cache
 
+	// waves is kept permanently ordered by seq: place appends waves with
+	// monotonically increasing seq and releaseWG compacts stably, so the
+	// issue stage never needs to sort.
 	waves     []*waveCtx
 	usedSlots int
 	seq       int64
@@ -90,6 +116,22 @@ type cu struct {
 	// operand collector queues accesses, so contention accumulates across
 	// cycles rather than resetting every cycle.
 	bankFree []int64
+
+	// order is the issue stage's reusable scheduling scratch: the waves
+	// eligible at the start of the cycle, oldest first. Keeping it on the
+	// CU makes the steady-state issue loop allocation-free.
+	order []*waveCtx
+
+	// Per-tick skip bookkeeping (see GPU.RunDispatch):
+	//   active    — this tick changed simulation state (fetch started or
+	//               completed, instruction issued, barrier released, ...).
+	//   stallers  — waves that charged FetchStallCycles this tick and will
+	//               charge it again every cycle until their next event.
+	//   nextEvent — earliest future cycle at which this CU's state can
+	//               change without outside input.
+	active    bool
+	stallers  int
+	nextEvent int64
 }
 
 func newCU(g *GPU, id int) *cu {
@@ -97,6 +139,13 @@ func newCU(g *GPU, id int) *cu {
 		g: g, id: id,
 		simdBusy: make([]int64, g.P.SIMDsPerCU),
 		bankFree: make([]int64, g.P.VRFBanks),
+	}
+}
+
+// wake lowers the CU's next-event bound to cycle at.
+func (c *cu) wake(at int64) {
+	if at < c.nextEvent {
+		c.nextEvent = at
 	}
 }
 
@@ -137,7 +186,12 @@ func (c *cu) place(wg *emu.WGState, eng emu.Engine) {
 }
 
 // tick advances the CU one cycle; it returns how many workgroups finished.
+// Afterwards c.active, c.stallers and c.nextEvent describe the tick for the
+// GPU's cycle-skipping logic.
 func (c *cu) tick(now int64) (int, error) {
+	c.active = false
+	c.stallers = 0
+	c.nextEvent = noEvent
 	if len(c.waves) == 0 {
 		return 0, nil
 	}
@@ -157,6 +211,9 @@ func (c *cu) fetchStage(now int64) {
 			if wv.fetchInEpoch == wv.fetchEpoch {
 				wv.ibBytes += wv.fetchBytes
 			}
+			if !wv.done {
+				c.active = true
+			}
 		}
 	}
 	started := 0
@@ -175,52 +232,79 @@ func (c *cu) fetchStage(now int64) {
 		wv.fetchDone = done
 		wv.fetchBytes = bytes
 		wv.fetchInEpoch = wv.fetchEpoch
+		c.active = true
 		started++
+	}
+	// Every in-flight fill is a future event (completion refills the IB, or
+	// frees the fetch slot of a flushed wave).
+	for _, wv := range c.waves {
+		if wv.fetchBusy && !wv.done {
+			c.wake(wv.fetchDone)
+		}
 	}
 }
 
 // issueStage picks ready wavefronts oldest-first and issues at most one
-// instruction per execution unit.
+// instruction per execution unit. Waves blocked this cycle report the cycle
+// their blocking condition can next change via c.wake, which is what makes
+// whole-GPU cycle skipping exact.
 func (c *cu) issueStage(now int64) (int, error) {
-	order := make([]*waveCtx, 0, len(c.waves))
+	// c.waves is seq-ordered by construction; filtering into the reusable
+	// scratch snapshots eligibility at the start of the cycle (a barrier
+	// released mid-cycle must not issue until the next cycle).
+	order := c.order[:0]
 	for _, wv := range c.waves {
 		if !wv.done && !wv.barrier {
 			order = append(order, wv)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+	c.order = order
 
 	finished := 0
 	run := c.g.Run
 	for _, wv := range order {
 		if now < wv.nextIssue {
+			c.wake(wv.nextIssue)
 			continue
 		}
-		if !wv.infoOK {
+		if wv.info == nil {
 			info, err := wv.eng.Peek(wv.w)
 			if err != nil {
 				return finished, err
 			}
 			wv.info = info
-			wv.infoOK = true
 		}
-		info := &wv.info
+		info := wv.info
 		if wv.ibBytes < info.SizeBytes {
 			if run != nil {
 				run.FetchStallCycles++
+			}
+			// The stall repeats every cycle until the in-flight fill
+			// lands; RunDispatch bulk-charges it across skipped cycles.
+			c.stallers++
+			if !wv.fetchBusy {
+				// No fill in flight (fetch-width starvation): retry next
+				// cycle.
+				c.wake(now + 1)
 			}
 			continue
 		}
 		// Dependency checks.
 		if wv.vregReady != nil {
 			if !c.scoreboardReady(wv, info, now) {
+				c.wake(scoreboardReadyAt(wv, info))
 				continue
 			}
 		} else {
 			if info.WaitVM >= 0 && outstanding(&wv.vmemDone, now) > int(info.WaitVM) {
+				// vmcnt completes in order (vmemDone is non-decreasing):
+				// the counter reaches WaitVM exactly when the
+				// (n-WaitVM)-th oldest operation lands.
+				c.wake(wv.vmemDone[len(wv.vmemDone)-1-int(info.WaitVM)])
 				continue
 			}
 			if info.WaitLGKM >= 0 && outstanding(&wv.lgkmDone, now) > int(info.WaitLGKM) {
+				c.wake(kthSmallest(wv.lgkmDone, len(wv.lgkmDone)-int(info.WaitLGKM)))
 				continue
 			}
 		}
@@ -238,6 +322,7 @@ func (c *cu) issueStage(now int64) (int, error) {
 			busy, occ = &c.scalarBusy, c.g.P.ScalarIssueCycles
 		}
 		if *busy > now {
+			c.wake(*busy)
 			continue
 		}
 
@@ -245,10 +330,11 @@ func (c *cu) issueStage(now int64) (int, error) {
 		if err != nil {
 			return finished, err
 		}
+		c.active = true
 		*busy = now + occ
 		wv.nextIssue = now + 1
 		wv.ibBytes -= info.SizeBytes
-		wv.infoOK = false
+		wv.info = nil
 
 		// VRF operand-collector traffic: each bank accepts one operand
 		// access per cycle; accesses that find their bank booked queue
@@ -308,6 +394,24 @@ func (c *cu) scoreboardReady(wv *waveCtx, info *emu.InstInfo, now int64) bool {
 		}
 	}
 	return true
+}
+
+// scoreboardReadyAt returns the cycle at which every register the blocked
+// instruction touches has its pending write complete. Pending writes only
+// move on issue (an event), so between events this bound is exact.
+func scoreboardReadyAt(wv *waveCtx, info *emu.InstInfo) int64 {
+	var at int64
+	for _, r := range info.VRFReads.Slice() {
+		if wv.vregReady[r] > at {
+			at = wv.vregReady[r]
+		}
+	}
+	for _, r := range info.VRFWrites.Slice() {
+		if wv.vregReady[r] > at {
+			at = wv.vregReady[r]
+		}
+	}
+	return at
 }
 
 // retire charges latencies for an issued instruction and updates dependency
@@ -407,7 +511,8 @@ func (c *cu) checkBarrier(run *wgRun) {
 	}
 }
 
-// releaseWG frees the workgroup's slots.
+// releaseWG frees the workgroup's slots. The compaction is stable, so
+// c.waves stays seq-ordered.
 func (c *cu) releaseWG(run *wgRun) {
 	keep := c.waves[:0]
 	for _, wv := range c.waves {

@@ -1,0 +1,103 @@
+package timing
+
+import (
+	"testing"
+
+	"ilsim/internal/emu"
+	"ilsim/internal/hsa"
+	"ilsim/internal/isa"
+	"ilsim/internal/stats"
+)
+
+// stubEngine feeds the CU an endless stream of vector-ALU instructions with
+// a little VRF operand traffic — the steady-state issue workload, with
+// functional execution reduced to a PC bump so the measurement isolates the
+// timing pipeline itself.
+type stubEngine struct {
+	info emu.InstInfo
+}
+
+func newStubEngine() *stubEngine {
+	e := &stubEngine{info: emu.InstInfo{
+		SizeBytes: 4,
+		Category:  isa.CatVALU,
+		LatClass:  emu.LatALU,
+		WaitVM:    -1,
+		WaitLGKM:  -1,
+	}}
+	e.info.VRFReads.Add(0, 2)
+	e.info.VRFWrites.Add(2, 1)
+	return e
+}
+
+func (e *stubEngine) Abstraction() string { return "GCN3" }
+func (e *stubEngine) NewWave(wg *emu.WGState, waveID int) *emu.Wave {
+	return &emu.Wave{WG: wg, WaveID: waveID, NumLanes: isa.WavefrontSize,
+		Exec: isa.FullMask(isa.WavefrontSize)}
+}
+func (e *stubEngine) Peek(w *emu.Wave) (*emu.InstInfo, error) { return &e.info, nil }
+func (e *stubEngine) InstString(pc uint64) string             { return "stub" }
+func (e *stubEngine) Execute(w *emu.Wave) (emu.ExecResult, error) {
+	w.PC += 4
+	return emu.ExecResult{ActiveLanes: isa.WavefrontSize}, nil
+}
+func (e *stubEngine) CodeBytes() uint64     { return 0 }
+func (e *stubEngine) LDSBytes() int         { return 0 }
+func (e *stubEngine) RegDemand() (int, int) { return 8, 8 }
+
+// benchCU builds one CU populated with waves that never finish.
+func benchCU(waves int) *cu {
+	g := NewGPU(DefaultParams(), &stats.Run{})
+	eng := newStubEngine()
+	d := &hsa.Dispatch{Workgroups: make([]hsa.WorkgroupInfo, 1)}
+	d.Workgroups[0] = hsa.WorkgroupInfo{
+		Size: waves * isa.WavefrontSize, NumWaves: waves,
+	}
+	wg := emu.NewWGState(d, &d.Workgroups[0], 0)
+	c := g.cus[0]
+	c.place(wg, eng)
+	return c
+}
+
+// TestIssueStageNoAllocs pins the PR's allocation invariant: once a CU is in
+// steady state, ticking it (fetch + issue + execute + retire) allocates
+// nothing — no per-cycle wave lists, no coalescing buffers, no decode.
+func TestIssueStageNoAllocs(t *testing.T) {
+	c := benchCU(8)
+	now := int64(0)
+	// Warm past cold-start growth (order scratch, cache compulsory misses).
+	for ; now < 512; now++ {
+		if _, err := c.tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if _, err := c.tick(now); err != nil {
+			t.Fatal(err)
+		}
+		now++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state tick allocates: %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkIssueStage measures the per-cycle cost of one CU's pipeline in
+// steady state (8 resident waves issuing vector-ALU work).
+func BenchmarkIssueStage(b *testing.B) {
+	c := benchCU(8)
+	now := int64(0)
+	for ; now < 512; now++ {
+		if _, err := c.tick(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.tick(now); err != nil {
+			b.Fatal(err)
+		}
+		now++
+	}
+}

@@ -153,10 +153,15 @@ type GPU struct {
 	Run *stats.Run
 	// WD bounds the run (cancellation and budgets); set it before the
 	// first RunDispatch. The zero value runs unbounded.
-	WD   Watchdog
-	cus  []*cu
-	l2   *mem.Cache
-	dram *mem.DRAM
+	WD Watchdog
+	// NoSkip forces the dispatcher to tick every cycle instead of skipping
+	// provably-inert spans. Results are byte-identical either way (the
+	// determinism tests assert it); the flag exists for debugging and for
+	// those tests.
+	NoSkip bool
+	cus    []*cu
+	l2     *mem.Cache
+	dram   *mem.DRAM
 	// iCaches / sCaches are shared per 4 CUs (Table 4).
 	iCaches []*mem.Cache
 	sCaches []*mem.Cache
@@ -229,9 +234,9 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 
 	dispatchMore := func() {
 		for next < len(pending) {
+			wg := pending[next]
 			placed := false
 			for _, c := range g.cus {
-				wg := pending[next]
 				if c.canPlace(wg, maxWaves) {
 					c.place(wg, eng)
 					next++
@@ -239,7 +244,6 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 					placed = true
 					break
 				}
-				_ = wg
 			}
 			if !placed {
 				break
@@ -252,12 +256,22 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 	}
 
 	for active > 0 {
+		idle := true
+		nextEvent := noEvent
+		stallers := int64(0)
 		for _, c := range g.cus {
 			finished, err := c.tick(g.now)
 			if err != nil {
 				return 0, err
 			}
 			active -= finished
+			if c.active {
+				idle = false
+			}
+			stallers += int64(c.stallers)
+			if c.nextEvent < nextEvent {
+				nextEvent = c.nextEvent
+			}
 		}
 		g.now++
 		if active > 0 && next < len(pending) {
@@ -271,6 +285,35 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 				g.wdTick = 0
 				if err := g.WD.check(g.now, g.Run); err != nil {
 					return 0, err
+				}
+			}
+		}
+
+		// Deterministic cycle skipping: if this tick changed nothing, no
+		// CU can act before nextEvent, so every cycle in between would be
+		// an identical no-op tick. Advance now straight there, charging
+		// in bulk exactly what those ticks would have charged — Cycles,
+		// and one FetchStallCycles per stalled wave per cycle. Skips are
+		// capped at the watchdog's next check boundary so budget and
+		// cancellation polls fire at the same cycles a ticked run polls.
+		if idle && !g.NoSkip && active > 0 && nextEvent != noEvent && nextEvent > g.now {
+			skip := nextEvent - g.now
+			if watched {
+				if room := g.WD.every() - g.wdTick; skip > room {
+					skip = room
+				}
+			}
+			g.now += skip
+			if g.Run != nil {
+				g.Run.Cycles += uint64(skip)
+				g.Run.FetchStallCycles += uint64(stallers) * uint64(skip)
+			}
+			if watched {
+				if g.wdTick += skip; g.wdTick >= g.WD.every() {
+					g.wdTick = 0
+					if err := g.WD.check(g.now, g.Run); err != nil {
+						return 0, err
+					}
 				}
 			}
 		}
