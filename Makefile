@@ -1,10 +1,13 @@
 # Developer entry points. `make check` is the tier-1 gate; `make race` runs
-# the concurrency-sensitive packages under the race detector, including the
-# experiment engine's determinism tests.
+# the concurrency-sensitive packages under the race detector — the
+# experiment engine's determinism tests and the full distributed suite
+# (bundled leases, mid-bundle reassignment, TLS/token auth) included, so
+# coordinator/worker locking is exercised under contention on every run.
+# `make fuzz` gives the wire codec a short coverage-guided beating.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-sweep
+.PHONY: check fmt vet build test race fuzz bench bench-sweep
 
 check: fmt vet build test
 
@@ -26,6 +29,12 @@ test:
 race:
 	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/core/... \
 		./internal/timing/... ./internal/stats/... ./cmd/...
+
+# fuzz runs the journal/distributed-result codec fuzzer for a bounded time
+# (FUZZTIME to taste); CI runs the same thing for 10s on every push.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzWireResult -fuzztime $(FUZZTIME) -run '^$$' ./internal/exp
 
 # bench measures simulator throughput (the PR 4 hot-path metric) and archives
 # it as JSON for cross-commit comparison.

@@ -13,7 +13,12 @@
 // Sweeps also distribute: -serve turns the process into a coordinator that
 // leases the same job set to workers (-connect here, or ilsim-workerd) and
 // assembles their streamed results in design-point order, byte-identical
-// to a local run.
+// to a local run. Leases carry bundles of jobs sized by each worker's
+// observed throughput (-bundle tunes the per-lease work target), the
+// endpoints optionally require TLS (-tls-cert/-tls-key) and a shared
+// token (-token), and -watch prints a one-shot status snapshot — queue
+// depth, per-worker throughput, and the WantWorkers autoscaling hint —
+// from a running coordinator.
 //
 // Usage:
 //
@@ -26,7 +31,9 @@
 //	ilsim-sweep -param banks -journal s.jsonl     # checkpoint completed jobs
 //	ilsim-sweep -param banks -journal s.jsonl -resume   # continue after a kill
 //	ilsim-sweep -param banks -serve :9666         # coordinate remote workers
+//	ilsim-sweep -param banks -serve :9666 -bundle 5s -token s3cret
 //	ilsim-sweep -connect host:9666 -j 4           # execute leases from a coordinator
+//	ilsim-sweep -watch host:9666                  # one-shot campaign status
 package main
 
 import (
@@ -72,6 +79,13 @@ func run(args []string, out, errw io.Writer) error {
 	resume := fs.Bool("resume", false, "reuse an existing -journal file, re-running only unfinished jobs")
 	serve := fs.String("serve", "", "coordinate the sweep over HTTP on this address instead of running it locally")
 	connect := fs.String("connect", "", "run as a worker executing leases from the coordinator at this address")
+	watch := fs.String("watch", "", "print one status snapshot (autoscaling hints included) from the coordinator at this address, then exit")
+	bundle := fs.Duration("bundle", dist.DefaultBundleTarget, "target work per lease: bundles are sized to this much estimated runtime (with -serve; 0 disables bundling). With -connect, caps this worker's bundles")
+	token := fs.String("token", "", "shared auth token: required of workers with -serve, sent to the coordinator with -connect/-watch")
+	tlsCert := fs.String("tls-cert", "", "with -serve: serve the coordinator endpoints over TLS using this PEM certificate")
+	tlsKey := fs.String("tls-key", "", "with -serve: the PEM key matching -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "with -connect/-watch: trust this PEM certificate (e.g. a self-signed coordinator cert) and dial https")
+	tlsInsecure := fs.Bool("tls-insecure", false, "with -connect/-watch: dial https without verifying the coordinator certificate (lab use only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	debugPprof := fs.Bool("pprof", false, "with -serve: expose net/http/pprof handlers on the coordinator's status mux")
@@ -91,8 +105,25 @@ func run(args []string, out, errw io.Writer) error {
 	if *resume && *journalPath == "" {
 		return errors.New("-resume requires -journal")
 	}
-	if *serve != "" && *connect != "" {
-		return errors.New("-serve and -connect are mutually exclusive")
+	modes := 0
+	for _, m := range []string{*serve, *connect, *watch} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return errors.New("-serve, -connect and -watch are mutually exclusive")
+	}
+	clientOpts := dist.ClientOptions{AuthToken: *token, TLSCACert: *tlsCA, TLSSkipVerify: *tlsInsecure}
+
+	if *watch != "" {
+		// Status mode: one snapshot for operators and autoscaling scripts.
+		st, err := dist.FetchStatus(context.Background(), *watch, clientOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, st.Table())
+		return nil
 	}
 
 	if *connect != "" {
@@ -105,7 +136,8 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		eng := exp.New(0)
 		eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
-		w := &dist.Worker{Coordinator: *connect, Slots: slots, Engine: eng}
+		w := &dist.Worker{Coordinator: *connect, Slots: slots, Engine: eng,
+			BundleTarget: *bundle, Client: clientOpts}
 		if *verbose {
 			w.Logf = func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) }
 		}
@@ -150,12 +182,20 @@ func run(args []string, out, errw io.Writer) error {
 		if *failFast {
 			return errors.New("-failfast applies to the local engine; with -serve, failures are collected")
 		}
+		bundleTarget := *bundle
+		if bundleTarget <= 0 {
+			bundleTarget = -1 // 0 on the flag means "no bundling", not "default"
+		}
 		c := dist.NewCoordinator(dist.Options{
-			Addr:       *serve,
-			Journal:    journal,
-			OnProgress: onProgress,
-			Logf:       func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) },
-			DebugPprof: *debugPprof,
+			Addr:         *serve,
+			BundleTarget: bundleTarget,
+			AuthToken:    *token,
+			TLSCert:      *tlsCert,
+			TLSKey:       *tlsKey,
+			Journal:      journal,
+			OnProgress:   onProgress,
+			Logf:         func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) },
+			DebugPprof:   *debugPprof,
 		})
 		if err := c.Start(); err != nil {
 			return err

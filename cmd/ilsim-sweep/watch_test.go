@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServe launches a -serve sweep in a goroutine and returns the bound
+// coordinator address scraped from its stderr.
+func startServe(t *testing.T, args []string, out *bytes.Buffer, errw *syncBuffer) (addr string, done chan error) {
+	t.Helper()
+	done = make(chan error, 1)
+	go func() { done <- run(args, out, errw) }()
+	addrRe := regexp.MustCompile(`-connect (127\.0\.0\.1:\d+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(errw.String()); m != nil {
+			return m[1], done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("coordinator exited early: %v\nstderr: %s", err, errw.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no coordinator address in stderr:\n%s", errw.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSweepWatchAndToken drives the hardened CLI path end to end: a
+// coordinator started with -token and -bundle, a -watch snapshot that
+// must authenticate and must carry the autoscaling fields, and a worker
+// that needs the token to drain the campaign.
+func TestSweepWatchAndToken(t *testing.T) {
+	sweep := []string{"-param", "banks", "-workload", "ArrayBW", "-points", "2",
+		"-serve", "127.0.0.1:0", "-token", "s3cret", "-bundle", "5s"}
+	var serveOut bytes.Buffer
+	serveErr := &syncBuffer{}
+	addr, serveDone := startServe(t, sweep, &serveOut, serveErr)
+
+	// No workers yet: the snapshot shows the whole queue pending. The
+	// status endpoint answers 503 for the instant between the listener
+	// binding and the campaign installing, so retry briefly.
+	var watchOut, watchErr bytes.Buffer
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		watchOut.Reset()
+		watchErr.Reset()
+		err := run([]string{"-watch", addr, "-token", "s3cret"}, &watchOut, &watchErr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch: %v\nstderr: %s", err, watchErr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, wantSub := range []string{"0/4 done", "4 pending", "0 workers"} {
+		if !strings.Contains(watchOut.String(), wantSub) {
+			t.Errorf("watch output missing %q:\n%s", wantSub, watchOut.String())
+		}
+	}
+
+	// The wrong token watches nothing.
+	var badOut, badErr bytes.Buffer
+	if err := run([]string{"-watch", addr, "-token", "nope"}, &badOut, &badErr); err == nil {
+		t.Fatal("wrong-token -watch succeeded")
+	}
+
+	var wOut bytes.Buffer
+	wErr := &syncBuffer{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := run([]string{"-connect", addr, "-j", "2", "-token", "s3cret"}, &wOut, wErr); err != nil {
+			t.Errorf("worker: %v\nstderr: %s", err, wErr.String())
+		}
+	}()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve run: %v\nstderr: %s", err, serveErr.String())
+	}
+	wg.Wait()
+	if !strings.Contains(serveOut.String(), "sweep banks") {
+		t.Fatalf("coordinator produced no sweep table:\n%s", serveOut.String())
+	}
+}
+
+// TestSweepWatchExclusive rejects -watch combined with the other modes.
+func TestSweepWatchExclusive(t *testing.T) {
+	for _, args := range [][]string{
+		{"-watch", "x:1", "-serve", ":0"},
+		{"-watch", "x:1", "-connect", "x:1"},
+	} {
+		var out, errw bytes.Buffer
+		err := run(args, &out, &errw)
+		if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+			t.Fatalf("%v: err = %v", args, err)
+		}
+	}
+}

@@ -10,11 +10,22 @@
 // identically, so a worker whose job encoding drifted can never taint a
 // campaign.
 //
+// Leases arrive as bundles sized by this worker's observed throughput
+// (-bundle caps the per-lease work target); each job's result streams back
+// individually, so a kill mid-bundle forfeits only un-acked work. For
+// hardened coordinators, -token sends the shared auth token and
+// -tls-ca/-tls-insecure dial https. -status-poll logs the coordinator's
+// campaign status — queue depth, fleet throughput, the WantWorkers
+// autoscaling hint — at a fixed interval, giving supervisor scripts a
+// scrapeable scaling signal.
+//
 // Usage:
 //
 //	ilsim-workerd -connect host:9666              # one execution slot
 //	ilsim-workerd -connect host:9666 -j 8 -v      # 8 slots, lifecycle logs
 //	ilsim-workerd -connect host:9666 -retries 2   # local transient retries
+//	ilsim-workerd -connect host:9666 -bundle 2s -status-poll 10s
+//	ilsim-workerd -connect host:9666 -token s3cret -tls-ca coord.pem
 package main
 
 import (
@@ -52,6 +63,11 @@ func run(args []string, out, errw io.Writer) error {
 	slots := fs.Int("j", 0, "concurrent execution slots (0 = GOMAXPROCS)")
 	retries := fs.Int("retries", 0, "local retries per transiently failing job")
 	window := fs.Duration("window", 2*time.Minute, "how long to retry an unreachable coordinator before giving up")
+	bundle := fs.Duration("bundle", 0, "cap this worker's lease bundles at this much estimated work (0 = accept the coordinator's target)")
+	token := fs.String("token", "", "shared auth token for a coordinator started with -token")
+	tlsCA := fs.String("tls-ca", "", "trust this PEM certificate (e.g. a self-signed coordinator cert) and dial https")
+	tlsInsecure := fs.Bool("tls-insecure", false, "dial https without verifying the coordinator certificate (lab use only)")
+	statusPoll := fs.Duration("status-poll", 0, "log the coordinator's campaign status (queue depth, throughput, WantWorkers hint) to stderr at this interval (0 = off)")
 	verbose := fs.Bool("v", false, "log lifecycle events to stderr")
 	debugAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -73,14 +89,17 @@ func run(args []string, out, errw io.Writer) error {
 		*slots = runtime.GOMAXPROCS(0)
 	}
 
+	clientOpts := dist.ClientOptions{AuthToken: *token, TLSCACert: *tlsCA, TLSSkipVerify: *tlsInsecure}
 	eng := exp.New(0)
 	eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
 	w := &dist.Worker{
-		Coordinator: *connect,
-		Name:        *name,
-		Slots:       *slots,
-		Engine:      eng,
-		RetryWindow: *window,
+		Coordinator:  *connect,
+		Name:         *name,
+		Slots:        *slots,
+		Engine:       eng,
+		BundleTarget: *bundle,
+		Client:       clientOpts,
+		RetryWindow:  *window,
 	}
 	if *verbose {
 		w.Logf = func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) }
@@ -91,8 +110,37 @@ func run(args []string, out, errw io.Writer) error {
 	// the lease TTL.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx, cancel := context.WithCancel(ctx) // also ends the status poller on return
+	defer cancel()
+
+	if *statusPoll > 0 {
+		// The poller shares the worker's credentials, so a hardened
+		// coordinator feeds the same autoscaling signal as an open one.
+		go func() {
+			t := time.NewTicker(*statusPoll)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if st, err := dist.FetchStatus(ctx, *connect, clientOpts); err == nil {
+						fmt.Fprintln(errw, st.Summary())
+					}
+				}
+			}
+		}()
+	}
+
 	if err := w.Run(ctx); err != nil {
 		return err
+	}
+	if *statusPoll > 0 {
+		// One final snapshot so the log always ends with the campaign's
+		// closing state, even when the run outpaces the poll interval.
+		if st, err := dist.FetchStatus(ctx, *connect, clientOpts); err == nil {
+			fmt.Fprintln(errw, st.Summary())
+		}
 	}
 	fmt.Fprintln(out, "campaign complete")
 	return nil

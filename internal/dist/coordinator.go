@@ -2,11 +2,15 @@ package dist
 
 import (
 	"context"
+	"crypto/subtle"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +27,24 @@ type Options struct {
 	// LongPoll caps how long a /lease request is held open waiting for a
 	// job to become available (default DefaultLongPoll).
 	LongPoll time.Duration
+	// BundleTarget is how much estimated work each lease should carry:
+	// bundles are sized so their jobs sum to roughly this much runtime at
+	// the worker's observed per-job EWMA. 0 means DefaultBundleTarget;
+	// negative disables bundling (one job per lease, the v1 behavior).
+	BundleTarget time.Duration
+	// ScaleHorizon is the drain time the Status.WantWorkers hint aims
+	// for: the hint is the slot count that would finish the remaining
+	// jobs within this window (default DefaultScaleHorizon).
+	ScaleHorizon time.Duration
+	// TLSCert and TLSKey are PEM file paths; when both are set the
+	// coordinator serves its endpoints over TLS. Self-signed pairs work —
+	// point workers at the certificate via ClientOptions.TLSCACert.
+	TLSCert string
+	TLSKey  string
+	// AuthToken, when non-empty, requires `Authorization: Bearer <token>`
+	// on every endpoint (status and pprof included), compared in constant
+	// time. Wrong or missing tokens get 401.
+	AuthToken string
 	// Journal, when non-nil, persists every accepted result before it is
 	// acknowledged, exactly as a local engine would — the same file
 	// resumes the campaign across coordinator restarts.
@@ -45,9 +67,10 @@ type Options struct {
 // so every consumer of the local engine — the sweep CLI's table printer,
 // report.CollectParallel — can run distributed by swapping the runner.
 type Coordinator struct {
-	opts Options
-	ln   net.Listener
-	srv  *http.Server
+	opts    Options
+	ln      net.Listener
+	srv     *http.Server
+	handler http.Handler
 
 	mu   sync.Mutex
 	camp *campaign
@@ -63,22 +86,24 @@ func NewCoordinator(opts Options) *Coordinator {
 	if opts.LongPoll <= 0 {
 		opts.LongPoll = DefaultLongPoll
 	}
+	if opts.BundleTarget == 0 {
+		opts.BundleTarget = DefaultBundleTarget
+	}
+	if opts.ScaleHorizon <= 0 {
+		opts.ScaleHorizon = DefaultScaleHorizon
+	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
 	return &Coordinator{opts: opts}
 }
 
-// Start binds the listener and begins serving the protocol in the
-// background. Workers may connect immediately; they wait (503 → retry)
-// until RunContext installs a campaign.
-func (c *Coordinator) Start() error {
-	if c.ln != nil {
-		return nil
-	}
-	ln, err := net.Listen("tcp", c.opts.Addr)
-	if err != nil {
-		return fmt.Errorf("dist: listen %s: %w", c.opts.Addr, err)
+// Handler returns the coordinator's HTTP handler — the protocol mux
+// wrapped in the auth middleware — for callers that serve it on their own
+// listener (httptest servers, shared muxes). Start uses the same handler.
+func (c *Coordinator) Handler() http.Handler {
+	if c.handler != nil {
+		return c.handler
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /join", c.handleJoin)
@@ -89,8 +114,53 @@ func (c *Coordinator) Start() error {
 	if c.opts.DebugPprof {
 		registerPprof(mux)
 	}
+	c.handler = c.requireAuth(mux)
+	return c.handler
+}
+
+// requireAuth wraps h with the shared-token check. With no AuthToken the
+// handler passes through untouched; with one, every request — status and
+// pprof included — must carry the matching bearer token.
+func (c *Coordinator) requireAuth(h http.Handler) http.Handler {
+	token := c.opts.AuthToken
+	if token == "" {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			httpError(w, http.StatusUnauthorized, "dist: missing or wrong auth token")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Start binds the listener — wrapped in TLS when Options.TLSCert/TLSKey
+// are set — and begins serving the protocol in the background. Workers
+// may connect immediately; they wait (503 → retry) until RunContext
+// installs a campaign.
+func (c *Coordinator) Start() error {
+	if c.ln != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", c.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", c.opts.Addr, err)
+	}
+	if c.opts.TLSCert != "" || c.opts.TLSKey != "" {
+		cert, err := tls.LoadX509KeyPair(c.opts.TLSCert, c.opts.TLSKey)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("dist: load TLS keypair: %w", err)
+		}
+		ln = tls.NewListener(ln, &tls.Config{
+			Certificates: []tls.Certificate{cert},
+			MinVersion:   tls.VersionTLS12,
+		})
+	}
 	c.ln = ln
-	c.srv = &http.Server{Handler: mux}
+	c.srv = &http.Server{Handler: c.Handler()}
 	go c.srv.Serve(ln)
 	return nil
 }
@@ -195,11 +265,11 @@ func (c *Coordinator) linger(ctx context.Context, cp *campaign) {
 		now := time.Now()
 		cp.mu.Lock()
 		allAcked := true
-		for wkr, seen := range cp.workers {
-			if now.Sub(seen) > cp.leaseTTL {
+		for _, ws := range cp.workers {
+			if now.Sub(ws.seen) > cp.leaseTTL {
 				continue
 			}
-			if cp.acked[wkr] < cp.slots[wkr] {
+			if ws.acked < ws.slots {
 				allAcked = false
 				break
 			}
@@ -233,6 +303,29 @@ func reclaimEvery(ttl time.Duration) time.Duration {
 	return d
 }
 
+// ewmaAlpha weights the newest observation in the per-worker runtime
+// average bundle sizing runs on: high enough to track a workload change
+// within a few jobs, low enough that one outlier cannot collapse or
+// explode the next bundle.
+const ewmaAlpha = 0.3
+
+// workerState is everything the coordinator tracks per worker: liveness,
+// the completion handshake, and the runtime estimate behind bundle sizing
+// and the autoscaling hints.
+type workerState struct {
+	seen time.Time
+	// slots is the worker's declared lease-poll concurrency; acked counts
+	// the Done replies served to it. The coordinator lingers after
+	// completion until every live worker's acked count reaches its slots,
+	// so every polling slot learns the campaign is over.
+	slots int
+	acked int
+	// done counts results accepted from this worker; ewma tracks its
+	// observed per-job runtime.
+	done int
+	ewma time.Duration
+}
+
 // campaign is the lease table and result store of one job set.
 type campaign struct {
 	mu      sync.Mutex
@@ -242,29 +335,34 @@ type campaign struct {
 	results []exp.Result
 	state   []jobState
 	leases  map[int]lease
-	workers map[string]time.Time
-	// slots records each worker's declared lease-poll concurrency; acked
-	// counts the Done replies served to it. The coordinator lingers after
-	// completion until every live worker's acked count reaches its slots,
-	// so every polling slot learns the campaign is over.
-	slots map[string]int
-	acked map[string]int
+	workers map[string]*workerState
 
 	done, resumed, failed, retries int
 	jobWall                        time.Duration
 	start                          time.Time
 	aborted                        bool
+	// ewma is the campaign-wide per-job runtime estimate: the bundle-size
+	// fallback for workers with no history yet, and the basis of the
+	// WantWorkers hint.
+	ewma time.Duration
+	// leases granted and the largest bundle granted, for Status; grants
+	// counts lease grants per job (a reassigned job has more than one).
+	leaseGrants int
+	maxBundle   int
+	grants      []int
 	// changed is closed and replaced on every state transition a lease
 	// long-poller could care about; finished closes once when every job is
 	// terminal (or the campaign aborts).
 	changed  chan struct{}
 	finished chan struct{}
 
-	journal    *exp.Journal
-	onProgress func(exp.Progress)
-	progressMu sync.Mutex
-	leaseTTL   time.Duration
-	logf       func(string, ...any)
+	journal      *exp.Journal
+	onProgress   func(exp.Progress)
+	progressMu   sync.Mutex
+	leaseTTL     time.Duration
+	bundleTarget time.Duration
+	scaleHorizon time.Duration
+	logf         func(string, ...any)
 }
 
 type jobState uint8
@@ -282,28 +380,40 @@ type lease struct {
 
 func newCampaign(jobs []exp.Job, opts Options) *campaign {
 	cp := &campaign{
-		jobs:       jobs,
-		fps:        make([]string, len(jobs)),
-		setFP:      exp.JobSetFingerprint(jobs),
-		results:    make([]exp.Result, len(jobs)),
-		state:      make([]jobState, len(jobs)),
-		leases:     make(map[int]lease),
-		workers:    make(map[string]time.Time),
-		slots:      make(map[string]int),
-		acked:      make(map[string]int),
-		start:      time.Now(),
-		changed:    make(chan struct{}),
-		finished:   make(chan struct{}),
-		journal:    opts.Journal,
-		onProgress: opts.OnProgress,
-		leaseTTL:   opts.LeaseTTL,
-		logf:       opts.Logf,
+		jobs:         jobs,
+		fps:          make([]string, len(jobs)),
+		setFP:        exp.JobSetFingerprint(jobs),
+		results:      make([]exp.Result, len(jobs)),
+		state:        make([]jobState, len(jobs)),
+		grants:       make([]int, len(jobs)),
+		leases:       make(map[int]lease),
+		workers:      make(map[string]*workerState),
+		start:        time.Now(),
+		changed:      make(chan struct{}),
+		finished:     make(chan struct{}),
+		journal:      opts.Journal,
+		onProgress:   opts.OnProgress,
+		leaseTTL:     opts.LeaseTTL,
+		bundleTarget: opts.BundleTarget,
+		scaleHorizon: opts.ScaleHorizon,
+		logf:         opts.Logf,
 	}
 	for i, job := range jobs {
 		cp.fps[i] = job.Fingerprint()
 		cp.results[i].Job = job
 	}
 	return cp
+}
+
+// workerLocked returns (creating if needed) the named worker's state.
+// Callers hold cp.mu.
+func (cp *campaign) workerLocked(name string) *workerState {
+	ws := cp.workers[name]
+	if ws == nil {
+		ws = &workerState{}
+		cp.workers[name] = ws
+	}
+	return ws
 }
 
 // broadcastLocked wakes every lease long-poller. Callers hold cp.mu.
@@ -323,8 +433,10 @@ func (cp *campaign) finishedNow() bool {
 	}
 }
 
-// reclaimLocked returns every expired lease to the pending pool. Callers
-// hold cp.mu.
+// reclaimLocked returns every expired lease to the pending pool. Leases
+// are per job even when granted as a bundle, so only the un-acked
+// remainder of a dead worker's bundle comes back — jobs it already
+// reported stay done. Callers hold cp.mu.
 func (cp *campaign) reclaimLocked(now time.Time) {
 	woke := false
 	for idx, l := range cp.leases {
@@ -343,17 +455,61 @@ func (cp *campaign) reclaimLocked(now time.Time) {
 	}
 }
 
-// takeLocked hands the lowest pending job to worker. Callers hold cp.mu.
-func (cp *campaign) takeLocked(worker string, now time.Time) (int, bool) {
+// bundleSizeLocked sizes worker's next bundle: enough jobs to fill the
+// effective bundle target at the worker's observed per-job EWMA (falling
+// back to the campaign-wide estimate for a worker with no history), never
+// fewer than one nor more than maxBundleJobs. workerMS, when positive, is
+// the worker's own preferred target and can only shrink the bundle.
+// Callers hold cp.mu.
+func (cp *campaign) bundleSizeLocked(worker string, workerMS int64) int {
+	target := cp.bundleTarget
+	if workerPref := time.Duration(workerMS) * time.Millisecond; workerPref > 0 && (target <= 0 || workerPref < target) {
+		target = workerPref
+	}
+	if target <= 0 {
+		return 1
+	}
+	est := cp.ewma
+	if ws := cp.workers[worker]; ws != nil && ws.ewma > 0 {
+		est = ws.ewma
+	}
+	if est <= 0 {
+		return 1
+	}
+	n := int(target / est)
+	if n < 1 {
+		return 1
+	}
+	if n > maxBundleJobs {
+		return maxBundleJobs
+	}
+	return n
+}
+
+// takeLocked hands up to max of the lowest pending jobs to worker as one
+// bundle. Callers hold cp.mu.
+func (cp *campaign) takeLocked(worker string, now time.Time, max int) []int {
+	var taken []int
+	deadline := now.Add(cp.leaseTTL)
 	for idx, st := range cp.state {
 		if st != statePending {
 			continue
 		}
 		cp.state[idx] = stateLeased
-		cp.leases[idx] = lease{worker: worker, deadline: now.Add(cp.leaseTTL)}
-		return idx, true
+		cp.leases[idx] = lease{worker: worker, deadline: deadline}
+		cp.grants[idx]++
+		taken = append(taken, idx)
+		if len(taken) >= max {
+			break
+		}
 	}
-	return 0, false
+	if len(taken) > 0 {
+		cp.leaseGrants++
+		if len(taken) > cp.maxBundle {
+			cp.maxBundle = len(taken)
+		}
+	}
+	return taken
 }
 
 // heartbeat extends the deadlines of held leases (only those the worker
@@ -361,7 +517,7 @@ func (cp *campaign) takeLocked(worker string, now time.Time) (int, bool) {
 func (cp *campaign) heartbeat(worker string, held []int, now time.Time) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	cp.workers[worker] = now
+	cp.workerLocked(worker).seen = now
 	for _, idx := range held {
 		if idx < 0 || idx >= len(cp.state) {
 			continue
@@ -422,6 +578,10 @@ func (cp *campaign) complete(idx int, r exp.Result, worker string) error {
 		cp.retries += r.Attempts - 1
 	}
 	cp.jobWall += r.Wall
+	ws := cp.workerLocked(worker)
+	ws.done++
+	ws.ewma = ewma(ws.ewma, r.Wall)
+	cp.ewma = ewma(cp.ewma, r.Wall)
 	done, failed, resumed := cp.done, cp.failed, cp.resumed
 	total := len(cp.jobs)
 	elapsed := time.Since(cp.start)
@@ -444,6 +604,15 @@ func (cp *campaign) complete(idx int, r exp.Result, worker string) error {
 		cp.progressMu.Unlock()
 	}
 	return nil
+}
+
+// ewma folds one new observation into a runtime average (seeding from the
+// first observation).
+func ewma(prev, obs time.Duration) time.Duration {
+	if prev <= 0 {
+		return obs
+	}
+	return time.Duration(ewmaAlpha*float64(obs) + (1-ewmaAlpha)*float64(prev))
 }
 
 // abort ends the campaign early; unfinished jobs become ErrCanceled.
@@ -473,6 +642,62 @@ func (cp *campaign) assemble() ([]exp.Result, exp.Metrics, error) {
 		Retries: cp.retries, Elapsed: time.Since(cp.start), JobWall: cp.jobWall,
 	}
 	return cp.results, m, nil
+}
+
+// statusLocked assembles the Status snapshot, autoscaling hints included.
+// Callers hold cp.mu.
+func (cp *campaign) statusLocked(now time.Time) Status {
+	s := Status{
+		SetFP: cp.setFP, Total: len(cp.jobs),
+		Done: cp.done, Failed: cp.failed, Resumed: cp.resumed,
+		Leased: len(cp.leases), Workers: len(cp.workers),
+		Leases: cp.leaseGrants, MaxBundle: cp.maxBundle,
+		Finished: cp.finishedNow(),
+	}
+	for _, st := range cp.state {
+		if st == statePending {
+			s.Pending++
+		}
+	}
+	held := make(map[string]int, len(cp.workers))
+	for _, l := range cp.leases {
+		held[l.worker]++
+	}
+	for name, ws := range cp.workers {
+		if now.Sub(ws.seen) <= cp.leaseTTL {
+			s.Slots += ws.slots
+		}
+		row := WorkerStatus{
+			Name: name, Slots: ws.slots, Held: held[name],
+			Done: ws.done, EWMAMS: ws.ewma.Milliseconds(),
+		}
+		if ws.ewma > 0 {
+			row.Throughput = float64(time.Second) / float64(ws.ewma)
+		}
+		s.PerWorker = append(s.PerWorker, row)
+	}
+	s.ETAMS = progressETA(cp.done-cp.resumed, cp.done, len(cp.jobs), now.Sub(cp.start)).Milliseconds()
+	s.WantWorkers = cp.wantWorkersLocked()
+	return s
+}
+
+// wantWorkersLocked computes the autoscaling hint: the worker-slot count
+// that would drain the remaining jobs within the scale horizon at the
+// campaign's observed per-job runtime. No observation yet (or nothing
+// left to do) means no hint. Callers hold cp.mu.
+func (cp *campaign) wantWorkersLocked() int {
+	remaining := len(cp.jobs) - cp.done
+	if remaining <= 0 || cp.finishedNow() || cp.ewma <= 0 {
+		return 0
+	}
+	n := int(math.Ceil(float64(remaining) * float64(cp.ewma) / float64(cp.scaleHorizon)))
+	if n < 1 {
+		n = 1
+	}
+	if n > remaining {
+		n = remaining
+	}
+	return n
 }
 
 // progressETA mirrors the engine's ETA derivation (exp.Metrics.Throughput
@@ -539,8 +764,9 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		slots = 1
 	}
 	cp.mu.Lock()
-	cp.workers[req.Worker] = time.Now()
-	cp.slots[req.Worker] = slots
+	ws := cp.workerLocked(req.Worker)
+	ws.seen = time.Now()
+	ws.slots = slots
 	nWorkers := len(cp.workers)
 	cp.mu.Unlock()
 	cp.logf("dist: worker %s joined (%d known)", req.Worker, nWorkers)
@@ -585,19 +811,22 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		now := time.Now()
 		cp.mu.Lock()
 		if cp.finishedNow() {
-			cp.acked[req.Worker]++
+			cp.workerLocked(req.Worker).acked++
 			cp.broadcastLocked() // wake the post-completion linger
 			cp.mu.Unlock()
 			reply(w, leaseReply{Done: true})
 			return
 		}
 		cp.reclaimLocked(now)
-		cp.workers[req.Worker] = now
-		if idx, ok := cp.takeLocked(req.Worker, now); ok {
-			job := cp.jobs[idx]
-			fp := cp.fps[idx]
+		cp.workerLocked(req.Worker).seen = now
+		if taken := cp.takeLocked(req.Worker, now, cp.bundleSizeLocked(req.Worker, req.BundleMS)); len(taken) > 0 {
+			bundle := make([]leasedJob, len(taken))
+			for i, idx := range taken {
+				job := cp.jobs[idx]
+				bundle[i] = leasedJob{Index: idx, Job: &job, JobFP: cp.fps[idx]}
+			}
 			cp.mu.Unlock()
-			reply(w, leaseReply{Index: idx, Job: &job, JobFP: fp})
+			reply(w, leaseReply{Jobs: bundle})
 			return
 		}
 		ch := cp.changed
@@ -670,11 +899,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cp.mu.Lock()
-	defer cp.mu.Unlock()
-	reply(w, statusReply{
-		SetFP: cp.setFP, Total: len(cp.jobs),
-		Done: cp.done, Failed: cp.failed, Resumed: cp.resumed,
-		Leased: len(cp.leases), Workers: len(cp.workers),
-		Finished: cp.finishedNow(),
-	})
+	s := cp.statusLocked(time.Now())
+	cp.mu.Unlock()
+	reply(w, s)
 }

@@ -8,13 +8,25 @@
 // apply per job on the worker, while the coordinator only re-leases jobs
 // whose worker went silent (heartbeats stop, lease deadline passes).
 //
+// Leases carry *bundles* of jobs, not single jobs: the coordinator sizes
+// each bundle from an EWMA of the worker's observed per-job runtime so
+// every lease round-trip amortizes over roughly Options.BundleTarget of
+// work. Results still stream back one at a time, so partial-bundle
+// progress survives worker death — lease expiry reassigns only the
+// un-acked remainder of a bundle, never work already reported.
+//
 // The protocol is five JSON-over-HTTP endpoints:
 //
 //	POST /join       version + probe-fingerprint handshake; stale binaries refused
-//	POST /lease      long-poll for one job (index, job, fingerprint)
+//	POST /lease      long-poll for a bundle of jobs (index, job, fingerprint each)
 //	POST /result     stream back one exp.WireResult (integrity-hashed)
 //	POST /heartbeat  keep held leases alive
-//	GET  /status     campaign counters, for humans and tests
+//	GET  /status     campaign counters plus autoscaling hints
+//
+// Transport hardening is opt-in: Options.TLSCert/TLSKey serve the
+// endpoints over TLS (self-signed works — point workers at the cert with
+// ClientOptions.TLSCACert), and Options.AuthToken requires a shared
+// bearer token on every request, checked in constant time.
 //
 // Durability is the journal's: attach an exp.Journal to the coordinator
 // and every accepted result is fsynced before it is acknowledged, so a
@@ -23,6 +35,9 @@
 package dist
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"ilsim/internal/exp"
@@ -30,15 +45,29 @@ import (
 
 // ProtocolVersion gates the coordinator/worker handshake; both sides must
 // match exactly. Bump it on any wire-visible change.
-const ProtocolVersion = 1
+//
+// History: 1 = single-job leases; 2 = bundled leases (leaseReply.Jobs),
+// bundle targets in leaseRequest, autoscaling fields in Status.
+const ProtocolVersion = 2
 
 // Defaults for the lease lifecycle. LeaseTTL bounds how long a silent
-// worker keeps a job before it is reassigned; workers heartbeat at a third
-// of the TTL, so one lost heartbeat does not forfeit a lease.
+// worker keeps a bundle before its un-acked jobs are reassigned; workers
+// heartbeat at a third of the TTL, so one lost heartbeat does not forfeit
+// a lease. BundleTarget is how much estimated work one lease round-trip
+// should amortize over; ScaleHorizon is the drain time the WantWorkers
+// hint aims for.
 const (
-	DefaultLeaseTTL = 30 * time.Second
-	DefaultLongPoll = 10 * time.Second
+	DefaultLeaseTTL     = 30 * time.Second
+	DefaultLongPoll     = 10 * time.Second
+	DefaultBundleTarget = 3 * time.Second
+	DefaultScaleHorizon = time.Minute
 )
+
+// maxBundleJobs caps one lease's bundle regardless of how short the jobs
+// look: a crashed worker forfeits at most this much un-acked work per
+// slot, and the EWMA stays honest because estimates refresh at least this
+// often.
+const maxBundleJobs = 64
 
 // joinRequest opens a worker's session with the coordinator. Slots is the
 // worker's concurrent lease-poll count: after the campaign completes, the
@@ -63,25 +92,35 @@ type joinReply struct {
 	ProbeFP    string   `json:"probeFp,omitempty"`
 }
 
-// leaseRequest asks for one job, long-polling up to WaitMS when none is
-// available.
+// leaseRequest asks for a bundle of jobs, long-polling up to WaitMS when
+// none is available. BundleMS is the worker's preferred bundle target; a
+// positive value below the coordinator's own target shrinks the bundle
+// (a worker never grows it — the coordinator's target is the ceiling).
 type leaseRequest struct {
-	Worker string `json:"worker"`
-	SetFP  string `json:"setFp"`
-	WaitMS int64  `json:"waitMs"`
+	Worker   string `json:"worker"`
+	SetFP    string `json:"setFp"`
+	WaitMS   int64  `json:"waitMs"`
+	BundleMS int64  `json:"bundleMs,omitempty"`
 }
 
-// leaseReply grants a job (Job + JobFP), asks the worker to poll again
+// leasedJob is one job of a bundle: its submission index, the job itself,
+// and the coordinator's fingerprint for it (re-verified by the worker).
+type leasedJob struct {
+	Index int      `json:"index"`
+	Job   *exp.Job `json:"job"`
+	JobFP string   `json:"jobFp"`
+}
+
+// leaseReply grants a bundle of jobs, asks the worker to poll again
 // (Wait), or ends the session (Done — the campaign is complete).
 type leaseReply struct {
-	Done  bool     `json:"done,omitempty"`
-	Wait  bool     `json:"wait,omitempty"`
-	Index int      `json:"index"`
-	Job   *exp.Job `json:"job,omitempty"`
-	JobFP string   `json:"jobFp,omitempty"`
+	Done bool        `json:"done,omitempty"`
+	Wait bool        `json:"wait,omitempty"`
+	Jobs []leasedJob `json:"jobs,omitempty"`
 }
 
-// resultRequest streams one finished job back.
+// resultRequest streams one finished job back. Bundles report job by job,
+// so a worker that dies mid-bundle loses only its un-acked remainder.
 type resultRequest struct {
 	Worker string         `json:"worker"`
 	SetFP  string         `json:"setFp"`
@@ -95,14 +134,93 @@ type heartbeatRequest struct {
 	Held   []int  `json:"held"`
 }
 
-// statusReply is the GET /status snapshot.
-type statusReply struct {
-	SetFP    string `json:"setFp"`
-	Total    int    `json:"total"`
-	Done     int    `json:"done"`
-	Failed   int    `json:"failed"`
-	Resumed  int    `json:"resumed"`
-	Leased   int    `json:"leased"`
-	Workers  int    `json:"workers"`
-	Finished bool   `json:"finished"`
+// WorkerStatus is one worker's row in the Status snapshot.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	// Slots is the concurrency the worker declared at join.
+	Slots int `json:"slots"`
+	// Held counts the leases the worker currently holds.
+	Held int `json:"held"`
+	// Done counts results the coordinator accepted from this worker.
+	Done int `json:"done"`
+	// EWMAMS is the exponentially weighted moving average of the worker's
+	// observed per-job runtime, in milliseconds — the estimate bundle
+	// sizing runs on.
+	EWMAMS int64 `json:"ewmaMs"`
+	// Throughput is the worker's estimated rate in jobs per second
+	// (1/EWMA; 0 until a first result establishes an estimate).
+	Throughput float64 `json:"throughput"`
+}
+
+// Status is the GET /status snapshot: campaign counters plus the
+// autoscaling signals an operator (or supervisor script) needs to size
+// the fleet. ilsim-sweep -watch prints it one-shot; ilsim-workerd
+// -status-poll logs Summary lines periodically.
+type Status struct {
+	SetFP   string `json:"setFp"`
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	Resumed int    `json:"resumed"`
+	// Pending is the queue depth: jobs not yet leased to any worker.
+	Pending int `json:"pending"`
+	// Leased is the lease backlog: jobs currently held by workers.
+	Leased int `json:"leased"`
+	// Workers counts every worker ever seen; Slots sums the declared
+	// concurrency of workers seen within the last lease TTL (the live
+	// fleet's capacity).
+	Workers int `json:"workers"`
+	Slots   int `json:"slots"`
+	// Leases counts bundle grants so far and MaxBundle the largest bundle
+	// granted — together they show how well round-trips amortize.
+	Leases    int `json:"leases"`
+	MaxBundle int `json:"maxBundle"`
+	// ETAMS estimates the time to drain the remaining jobs at the
+	// campaign's observed throughput (0 until a rate is established).
+	ETAMS int64 `json:"etaMs"`
+	// WantWorkers is the autoscaling hint: the total worker-slot count
+	// that would drain the remaining jobs within the coordinator's scale
+	// horizon (Options.ScaleHorizon). 0 means no hint — the campaign is
+	// finished, or no per-job runtime has been observed yet.
+	WantWorkers int  `json:"wantWorkers"`
+	Finished    bool `json:"finished"`
+	// PerWorker is one row per worker ever seen, in coordinator map order
+	// (sort before displaying).
+	PerWorker []WorkerStatus `json:"perWorker,omitempty"`
+}
+
+// Summary renders the one-line form of the snapshot, the shape
+// ilsim-workerd -status-poll logs.
+func (s Status) Summary() string {
+	line := fmt.Sprintf("dist: %d/%d done (%d failed, %d resumed), %d pending, %d leased, %d workers/%d slots",
+		s.Done, s.Total, s.Failed, s.Resumed, s.Pending, s.Leased, s.Workers, s.Slots)
+	if s.ETAMS > 0 {
+		line += fmt.Sprintf(", eta %s", (time.Duration(s.ETAMS) * time.Millisecond).Round(100*time.Millisecond))
+	}
+	if s.WantWorkers > 0 {
+		line += fmt.Sprintf(", want %d slots", s.WantWorkers)
+	}
+	if s.Finished {
+		line += ", finished"
+	}
+	return line
+}
+
+// Table renders the multi-line operator view ilsim-sweep -watch prints:
+// the Summary plus one row per worker, sorted by name.
+func (s Status) Table() string {
+	var b strings.Builder
+	b.WriteString(s.Summary())
+	b.WriteByte('\n')
+	if s.Leases > 0 {
+		fmt.Fprintf(&b, "dist: %d leases granted, largest bundle %d jobs\n", s.Leases, s.MaxBundle)
+	}
+	rows := append([]WorkerStatus(nil), s.PerWorker...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	for _, ws := range rows {
+		fmt.Fprintf(&b, "  %-24s slots %-3d held %-3d done %-4d ewma %-8s %.2f jobs/s\n",
+			ws.Name, ws.Slots, ws.Held, ws.Done,
+			(time.Duration(ws.EWMAMS) * time.Millisecond).Round(time.Millisecond), ws.Throughput)
+	}
+	return b.String()
 }

@@ -22,20 +22,32 @@ import (
 // watchdog budgets, panic isolation, transient-retry policy — applies on
 // the worker exactly as it would locally; the coordinator never retries a
 // reported failure, it only re-leases jobs whose worker went silent.
+//
+// Leases arrive as bundles (sized by the coordinator from this worker's
+// observed throughput); the worker executes a bundle's jobs in order and
+// reports each result individually, so a crash mid-bundle forfeits only
+// the un-acked remainder.
 type Worker struct {
 	// Coordinator is the coordinator's address (host:port, or a full
-	// http:// base URL).
+	// http(s):// base URL).
 	Coordinator string
 	// Name identifies this worker in leases and logs; defaults to
 	// hostname-pid.
 	Name string
-	// Slots is the number of jobs leased and executed concurrently
+	// Slots is the number of bundles leased and executed concurrently
 	// (default 1).
 	Slots int
 	// Engine runs the leased jobs; nil uses a default engine. The
 	// engine's Journal must stay nil — durability is the coordinator's
 	// job.
 	Engine *exp.Engine
+	// BundleTarget, when positive, asks the coordinator to cap this
+	// worker's bundles at roughly this much estimated work per lease; it
+	// can only shrink bundles below the coordinator's own target.
+	BundleTarget time.Duration
+	// Client configures transport hardening: the shared auth token and
+	// how to trust a TLS coordinator.
+	Client ClientOptions
 	// RetryWindow bounds how long coordinator outages (connection errors,
 	// 503 before a campaign is installed) are retried before the worker
 	// gives up; default 2 minutes.
@@ -69,10 +81,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Coordinator == "" {
 		return errors.New("dist: worker needs a coordinator address")
 	}
-	w.base = strings.TrimSuffix(w.Coordinator, "/")
-	if !strings.Contains(w.base, "://") {
-		w.base = "http://" + w.base
-	}
+	w.base = w.Client.baseURL(w.Coordinator)
 	if w.Name == "" {
 		host, _ := os.Hostname()
 		if host == "" {
@@ -99,7 +108,11 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Logf == nil {
 		w.Logf = func(string, ...any) {}
 	}
-	w.client = &http.Client{}
+	client, err := w.Client.client()
+	if err != nil {
+		return err
+	}
+	w.client = client
 	w.held = make(map[int]bool)
 
 	if err := w.join(ctx); err != nil {
@@ -175,13 +188,14 @@ func verifyProbe(rep joinReply) error {
 	return nil
 }
 
-// slotLoop is one concurrent execution slot: lease, execute, report,
+// slotLoop is one concurrent execution slot: lease a bundle, execute it,
 // repeat until the coordinator says the campaign is done.
 func (w *Worker) slotLoop(ctx context.Context) error {
 	for ctx.Err() == nil {
 		var rep leaseReply
 		err := w.postRetry(ctx, "/lease",
-			leaseRequest{Worker: w.Name, SetFP: w.setFP, WaitMS: w.LongPoll.Milliseconds()}, &rep)
+			leaseRequest{Worker: w.Name, SetFP: w.setFP,
+				WaitMS: w.LongPoll.Milliseconds(), BundleMS: w.BundleTarget.Milliseconds()}, &rep)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -191,43 +205,86 @@ func (w *Worker) slotLoop(ctx context.Context) error {
 		if rep.Done {
 			return nil
 		}
-		if rep.Wait || rep.Job == nil {
+		if rep.Wait || len(rep.Jobs) == 0 {
 			continue
 		}
-		if got := rep.Job.Fingerprint(); got != rep.JobFP {
-			return fmt.Errorf("%w: leased job %d fingerprints as %s here, %s on the coordinator", errStale, rep.Index, got, rep.JobFP)
+		if err := w.runBundle(ctx, rep.Jobs); err != nil {
+			return err
 		}
-		res := w.execute(ctx, rep.Index, *rep.Job)
+	}
+	return nil
+}
+
+// runBundle executes one leased bundle in order, streaming each result
+// back as it finishes. Cancellation mid-bundle abandons the un-acked
+// remainder — those leases expire on the coordinator and are re-leased to
+// live workers, while the jobs already reported stay done.
+func (w *Worker) runBundle(ctx context.Context, bundle []leasedJob) error {
+	// Re-verify every fingerprint before executing anything: one drifted
+	// job encoding means the whole binary cannot be trusted.
+	idxs := make([]int, len(bundle))
+	for i, lj := range bundle {
+		if lj.Job == nil {
+			return fmt.Errorf("dist: lease carried no job for index %d", lj.Index)
+		}
+		if got := lj.Job.Fingerprint(); got != lj.JobFP {
+			return fmt.Errorf("%w: leased job %d fingerprints as %s here, %s on the coordinator", errStale, lj.Index, got, lj.JobFP)
+		}
+		idxs[i] = lj.Index
+	}
+	// Hold the whole bundle from the start so heartbeats renew jobs still
+	// queued behind the one executing; drop whatever is left on any exit
+	// (acked jobs are removed one by one as they report).
+	w.addHeld(idxs)
+	defer w.dropHeld(idxs)
+	if len(bundle) > 1 {
+		w.Logf("dist: %s leased a bundle of %d jobs", w.Name, len(bundle))
+	}
+	for _, lj := range bundle {
+		if ctx.Err() != nil {
+			return nil
+		}
+		res := w.execute(ctx, lj.Index, *lj.Job)
 		// A canceled attempt is abandoned, not reported: the lease expires
-		// and the coordinator re-leases the job to a live worker, exactly
-		// as if this worker had died.
+		// and the coordinator re-leases the job — and the rest of this
+		// bundle — to a live worker, exactly as if this worker had died.
 		if ctx.Err() != nil || (res.Err != nil && exp.Classify(res.Err) == exp.ClassCanceled) {
 			return nil
 		}
-		wire := exp.EncodeResult(rep.Index, rep.JobFP, res)
+		wire := exp.EncodeResult(lj.Index, lj.JobFP, res)
 		if err := w.postRetry(ctx, "/result", resultRequest{Worker: w.Name, SetFP: w.setFP, Result: wire}, &struct{}{}); err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}
 			return err
 		}
-		w.Logf("dist: %s finished job %d (%s)", w.Name, rep.Index, rep.Job)
+		w.dropHeld([]int{lj.Index})
+		w.Logf("dist: %s finished job %d (%s)", w.Name, lj.Index, lj.Job)
 	}
 	return nil
+}
+
+// addHeld and dropHeld maintain the lease set the heartbeat loop renews.
+func (w *Worker) addHeld(idxs []int) {
+	w.heldMu.Lock()
+	for _, idx := range idxs {
+		w.held[idx] = true
+	}
+	w.heldMu.Unlock()
+}
+
+func (w *Worker) dropHeld(idxs []int) {
+	w.heldMu.Lock()
+	for _, idx := range idxs {
+		delete(w.held, idx)
+	}
+	w.heldMu.Unlock()
 }
 
 // execute runs one leased job through the local engine (a one-job set:
 // the engine applies its timeout, retry, fault-injection and panic
 // machinery per job anyway, and slots provide the concurrency).
 func (w *Worker) execute(ctx context.Context, idx int, job exp.Job) exp.Result {
-	w.heldMu.Lock()
-	w.held[idx] = true
-	w.heldMu.Unlock()
-	defer func() {
-		w.heldMu.Lock()
-		delete(w.held, idx)
-		w.heldMu.Unlock()
-	}()
 	results, _, err := w.Engine.RunContext(ctx, []exp.Job{job})
 	if err != nil {
 		// FailFast engines surface the job error here too; the per-result
@@ -272,16 +329,17 @@ func (e *httpStatusError) Error() string {
 	return fmt.Sprintf("dist: coordinator replied %d: %s", e.code, strings.TrimSpace(e.msg))
 }
 
-// isFatal reports errors retrying cannot fix: handshake conflicts (409)
-// and malformed requests (4xx other than timeouts) — the stale-binary and
-// programming-bug classes.
+// isFatal reports errors retrying cannot fix: handshake conflicts (409),
+// rejected credentials (401), and malformed requests (400) — the
+// stale-binary, wrong-token and programming-bug classes.
 func isFatal(err error) bool {
 	if errors.Is(err, errStale) {
 		return true
 	}
 	var he *httpStatusError
 	if errors.As(err, &he) {
-		return he.code == http.StatusConflict || he.code == http.StatusBadRequest
+		return he.code == http.StatusConflict || he.code == http.StatusBadRequest ||
+			he.code == http.StatusUnauthorized
 	}
 	return false
 }
@@ -297,6 +355,7 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	w.Client.authorize(req)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return err

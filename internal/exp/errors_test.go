@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// flaggedErr implements the duck-typed transient marker with a switchable
+// flag, standing in for callers' own error types.
+type flaggedErr struct{ transient bool }
+
+func (e *flaggedErr) Error() string   { return "flagged" }
+func (e *flaggedErr) Transient() bool { return e.transient }
+
+// TestClassifyWrappedChains pins the taxonomy against realistic error
+// chains: every class must survive arbitrary fmt.Errorf("%w") nesting —
+// the engine wraps job errors with context before they reach Classify —
+// and explicit transient markers must win over whatever they wrap.
+func TestClassifyWrappedChains(t *testing.T) {
+	panicErr := &PanicError{Job: "job", Value: "boom"}
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassOK},
+		{"plain", errors.New("bad config"), ClassPermanent},
+		{"wrapped plain", fmt.Errorf("job 3: %w", errors.New("bad config")), ClassPermanent},
+
+		// Panic recovery, bare and buried two wraps deep.
+		{"panic", panicErr, ClassPanic},
+		{"wrapped panic", fmt.Errorf("worker 2: %w", panicErr), ClassPanic},
+		{"double-wrapped panic", fmt.Errorf("sweep: %w", fmt.Errorf("worker 2: %w", panicErr)), ClassPanic},
+
+		// Watchdog timeouts surface as context.DeadlineExceeded, usually
+		// wrapped with the job label by the time anyone classifies them.
+		{"deadline", context.DeadlineExceeded, ClassTimeout},
+		{"wrapped deadline", fmt.Errorf("job timed out: %w", context.DeadlineExceeded), ClassTimeout},
+		{"double-wrapped deadline", fmt.Errorf("attempt 2: %w", fmt.Errorf("job timed out: %w", context.DeadlineExceeded)), ClassTimeout},
+
+		// Cancellation: the engine's own sentinel and the context one.
+		{"canceled sentinel", fmt.Errorf("shed: %w", ErrCanceled), ClassCanceled},
+		{"context canceled", fmt.Errorf("ctrl-c: %w", context.Canceled), ClassCanceled},
+
+		// Budget kills, wrapped the way the timing core reports them.
+		{"budget", ErrBudgetExceeded, ClassBudget},
+		{"wrapped budget", fmt.Errorf("runaway: %w", ErrBudgetExceeded), ClassBudget},
+
+		// Deserialized failures carry their original class across the wire
+		// even when the receiver wraps them again.
+		{"remote budget", fmt.Errorf("via worker: %w", &RemoteError{Msg: "x", Class: ClassBudget}), ClassBudget},
+		{"remote transient", fmt.Errorf("via worker: %w", &RemoteError{Msg: "x", Class: ClassTransient}), ClassTransient},
+		{"remote panic", &RemoteError{Msg: "x", Class: ClassPanic}, ClassPanic},
+
+		// Explicit transient wrappers win over everything they wrap — a
+		// caller can force a retry class onto a known load-induced timeout.
+		{"transient", Transient(errors.New("flaky")), ClassTransient},
+		{"wrapped transient", fmt.Errorf("attempt 1: %w", Transient(errors.New("flaky"))), ClassTransient},
+		{"transient over deadline", Transient(context.DeadlineExceeded), ClassTransient},
+		{"transient over panic", Transient(fmt.Errorf("w: %w", panicErr)), ClassTransient},
+		{"duck-typed transient", fmt.Errorf("io: %w", &flaggedErr{transient: true}), ClassTransient},
+
+		// A Transient() bool that answers false is not a transient marker;
+		// classification falls through to the rest of the chain.
+		{"flag off", &flaggedErr{transient: false}, ClassPermanent},
+		{"flag off over deadline", fmt.Errorf("%w: %w", &flaggedErr{transient: false}, context.DeadlineExceeded), ClassTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Errorf("Classify(%v) = %s, want %s", tc.err, got, tc.want)
+			}
+			if want := tc.want == ClassTransient; IsTransient(tc.err) != want {
+				t.Errorf("IsTransient(%v) = %v, want %v", tc.err, !want, want)
+			}
+		})
+	}
+}
+
+// TestTransientNilStaysNil pins the wrapper's nil passthrough — retry
+// helpers wrap unconditionally and must not invent failures.
+func TestTransientNilStaysNil(t *testing.T) {
+	if err := Transient(nil); err != nil {
+		t.Fatalf("Transient(nil) = %v", err)
+	}
+	inner := errors.New("flaky")
+	if !errors.Is(Transient(inner), inner) {
+		t.Fatal("Transient hides the wrapped error from errors.Is")
+	}
+}

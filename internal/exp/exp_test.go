@@ -11,7 +11,8 @@ import (
 )
 
 // tinyJobs builds a fast dual-abstraction job set over n bank points.
-func tinyJobs(t *testing.T, n int) []Job {
+// testing.TB so the fuzz harness can seed its corpus with real jobs.
+func tinyJobs(t testing.TB, n int) []Job {
 	t.Helper()
 	pts, err := SweepPoints("banks")
 	if err != nil {
