@@ -1,8 +1,9 @@
 # Developer entry points. `make check` is the tier-1 gate; `make race` runs
 # the concurrency-sensitive packages under the race detector — the
 # experiment engine's determinism tests and the full distributed suite
-# (bundled leases, mid-bundle reassignment, TLS/token auth) included, so
-# coordinator/worker locking is exercised under contention on every run.
+# (bundled leases, mid-bundle reassignment, TLS/token auth, quorum voting,
+# chaos fault injection) included, so coordinator/worker locking is
+# exercised under contention on every run.
 # `make fuzz` gives the wire codec a short coverage-guided beating.
 
 GO ?= go
@@ -27,8 +28,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/core/... \
-		./internal/timing/... ./internal/stats/... ./cmd/...
+	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/chaos/... \
+		./internal/core/... ./internal/timing/... ./internal/stats/... ./cmd/...
 
 # fuzz runs the journal/distributed-result codec fuzzer for a bounded time
 # (FUZZTIME to taste); CI runs the same thing for 10s on every push.

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepJournalCompact runs a journaled sweep, compacts the journal in
+// place, and resumes from the compacted file: the resumed table rows must
+// be byte-identical to the original run's.
+func TestSweepJournalCompact(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	args := []string{"-param", "banks", "-workload", "ArrayBW",
+		"-scale", "1", "-points", "2", "-journal", journal}
+
+	var out1, err1 bytes.Buffer
+	if err := run(args, &out1, &err1); err != nil {
+		t.Fatalf("first run: %v\nstderr: %s", err, err1.String())
+	}
+	before, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cOut, cErr bytes.Buffer
+	if err := run([]string{"-journal", journal, "-journal-compact"}, &cOut, &cErr); err != nil {
+		t.Fatalf("compact: %v\nstderr: %s", err, cErr.String())
+	}
+	if !strings.Contains(cOut.String(), "kept 4 entries, dropped 0") {
+		t.Fatalf("unexpected compaction report:\n%s", cOut.String())
+	}
+	after, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) > len(before) {
+		t.Fatalf("compaction grew the journal: %d -> %d bytes", len(before), len(after))
+	}
+
+	var out2, err2 bytes.Buffer
+	if err := run(append(args, "-resume"), &out2, &err2); err != nil {
+		t.Fatalf("resume after compact: %v\nstderr: %s", err, err2.String())
+	}
+	if !strings.Contains(out2.String(), "4 resumed from journal") {
+		t.Fatalf("compacted journal did not resume all jobs:\n%s", out2.String())
+	}
+	r1, r2 := sweepRows(out1.String()), sweepRows(out2.String())
+	if len(r1) != 2 || len(r2) != 2 {
+		t.Fatalf("row counts %d/%d, want 2/2", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("row after compaction differs:\n%q\n%q", r1[i], r2[i])
+		}
+	}
+}
+
+// TestSweepJournalCompactUsage: -journal-compact needs -journal and runs
+// standalone.
+func TestSweepJournalCompactUsage(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-journal-compact"}, &out, &errw); err == nil ||
+		!strings.Contains(err.Error(), "-journal") {
+		t.Fatalf("bare -journal-compact: %v", err)
+	}
+	if err := run([]string{"-journal", "x.jsonl", "-journal-compact", "-serve", ":0"}, &out, &errw); err == nil ||
+		!strings.Contains(err.Error(), "standalone") {
+		t.Fatalf("-journal-compact with -serve: %v", err)
+	}
+}

@@ -15,10 +15,18 @@
 // assembles their streamed results in design-point order, byte-identical
 // to a local run. Leases carry bundles of jobs sized by each worker's
 // observed throughput (-bundle tunes the per-lease work target), the
-// endpoints optionally require TLS (-tls-cert/-tls-key) and a shared
-// token (-token), and -watch prints a one-shot status snapshot — queue
-// depth, per-worker throughput, and the WantWorkers autoscaling hint —
-// from a running coordinator.
+// endpoints optionally require TLS (-tls-cert/-tls-key), client
+// certificates (-tls-client-ca, mutual TLS) and a shared token (-token),
+// and -watch prints a status snapshot — queue depth, per-worker
+// throughput, health/quarantine state and the WantWorkers autoscaling
+// hint — from a running coordinator (one-shot, or redrawn continuously
+// with -interval).
+//
+// Untrusted fleets replicate: -replicas K leases every job to K distinct
+// workers and accepts only the majority result (votes are stats.Run
+// fingerprints); dissenting workers are scored and quarantined. Journals
+// grow one line per result plus vote audit records; -journal-compact
+// rewrites one in place keeping only the latest entry per job.
 //
 // Usage:
 //
@@ -32,8 +40,11 @@
 //	ilsim-sweep -param banks -journal s.jsonl -resume   # continue after a kill
 //	ilsim-sweep -param banks -serve :9666         # coordinate remote workers
 //	ilsim-sweep -param banks -serve :9666 -bundle 5s -token s3cret
+//	ilsim-sweep -param banks -serve :9666 -replicas 3   # quorum over untrusted workers
 //	ilsim-sweep -connect host:9666 -j 4           # execute leases from a coordinator
 //	ilsim-sweep -watch host:9666                  # one-shot campaign status
+//	ilsim-sweep -watch host:9666 -interval 2s     # live status board
+//	ilsim-sweep -journal s.jsonl -journal-compact # drop superseded journal entries
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"ilsim/internal/core"
 	"ilsim/internal/dist"
@@ -79,11 +91,15 @@ func run(args []string, out, errw io.Writer) error {
 	resume := fs.Bool("resume", false, "reuse an existing -journal file, re-running only unfinished jobs")
 	serve := fs.String("serve", "", "coordinate the sweep over HTTP on this address instead of running it locally")
 	connect := fs.String("connect", "", "run as a worker executing leases from the coordinator at this address")
-	watch := fs.String("watch", "", "print one status snapshot (autoscaling hints included) from the coordinator at this address, then exit")
+	watch := fs.String("watch", "", "print a status snapshot (autoscaling and health included) from the coordinator at this address, then exit")
+	interval := fs.Duration("interval", 0, "with -watch: redraw the status continuously at this period instead of one snapshot")
+	replicas := fs.Int("replicas", 1, "with -serve: lease every job to this many distinct workers and accept the majority result (quorum over untrusted workers)")
+	compact := fs.Bool("journal-compact", false, "rewrite -journal in place keeping only the latest entry per job (drops superseded entries and vote records), then exit")
 	bundle := fs.Duration("bundle", dist.DefaultBundleTarget, "target work per lease: bundles are sized to this much estimated runtime (with -serve; 0 disables bundling). With -connect, caps this worker's bundles")
 	token := fs.String("token", "", "shared auth token: required of workers with -serve, sent to the coordinator with -connect/-watch")
-	tlsCert := fs.String("tls-cert", "", "with -serve: serve the coordinator endpoints over TLS using this PEM certificate")
-	tlsKey := fs.String("tls-key", "", "with -serve: the PEM key matching -tls-cert")
+	tlsCert := fs.String("tls-cert", "", "with -serve: serve the coordinator endpoints over TLS using this PEM certificate. With -connect: present it as this worker's client certificate (mutual TLS)")
+	tlsKey := fs.String("tls-key", "", "the PEM key matching -tls-cert")
+	tlsClientCA := fs.String("tls-client-ca", "", "with -serve: require client certificates signed by this PEM CA on every connection (mutual TLS; needs -tls-cert/-tls-key)")
 	tlsCA := fs.String("tls-ca", "", "with -connect/-watch: trust this PEM certificate (e.g. a self-signed coordinator cert) and dial https")
 	tlsInsecure := fs.Bool("tls-insecure", false, "with -connect/-watch: dial https without verifying the coordinator certificate (lab use only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -114,16 +130,31 @@ func run(args []string, out, errw io.Writer) error {
 	if modes > 1 {
 		return errors.New("-serve, -connect and -watch are mutually exclusive")
 	}
-	clientOpts := dist.ClientOptions{AuthToken: *token, TLSCACert: *tlsCA, TLSSkipVerify: *tlsInsecure}
-
-	if *watch != "" {
-		// Status mode: one snapshot for operators and autoscaling scripts.
-		st, err := dist.FetchStatus(context.Background(), *watch, clientOpts)
+	if *compact {
+		if *journalPath == "" {
+			return errors.New("-journal-compact requires -journal")
+		}
+		if modes > 0 {
+			return errors.New("-journal-compact runs standalone (no -serve/-connect/-watch)")
+		}
+		kept, dropped, err := exp.CompactJournal(*journalPath)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(out, st.Table())
+		fmt.Fprintf(out, "compacted %s: kept %d entries, dropped %d\n", *journalPath, kept, dropped)
 		return nil
+	}
+	clientOpts := dist.ClientOptions{AuthToken: *token, TLSCACert: *tlsCA, TLSSkipVerify: *tlsInsecure}
+	if *connect != "" || *watch != "" {
+		// On the client side of the wire, -tls-cert/-tls-key are this
+		// process's client certificate for a mutual-TLS coordinator.
+		clientOpts.TLSCert, clientOpts.TLSKey = *tlsCert, *tlsKey
+	}
+
+	if *watch != "" {
+		// Status mode: a snapshot for operators and autoscaling scripts —
+		// one-shot by default, a live board with -interval.
+		return watchStatus(*watch, clientOpts, *interval, out)
 	}
 
 	if *connect != "" {
@@ -189,9 +220,11 @@ func run(args []string, out, errw io.Writer) error {
 		c := dist.NewCoordinator(dist.Options{
 			Addr:         *serve,
 			BundleTarget: bundleTarget,
+			Replicas:     *replicas,
 			AuthToken:    *token,
 			TLSCert:      *tlsCert,
 			TLSKey:       *tlsKey,
+			TLSClientCA:  *tlsClientCA,
 			Journal:      journal,
 			OnProgress:   onProgress,
 			Logf:         func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) },
@@ -252,4 +285,62 @@ func run(args []string, out, errw io.Writer) error {
 		return fmt.Errorf("%d of %d jobs failed", failed, len(results))
 	}
 	return nil
+}
+
+// watchStatus renders coordinator status to out: one snapshot when
+// interval is zero, otherwise a continuously redrawn board — clearing
+// the screen between frames when out is a TTY, plain appended frames
+// otherwise (pipes, logs). The loop survives transient fetch errors
+// (coordinator restarting, campaign not yet installed) and exits once
+// the campaign reports finished.
+func watchStatus(addr string, co dist.ClientOptions, interval time.Duration, out io.Writer) error {
+	ctx := context.Background()
+	if interval <= 0 {
+		st, err := dist.FetchStatus(ctx, addr, co)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, st.Table())
+		return nil
+	}
+	clearScreen := isTTY(out)
+	connected := false
+	misses := 0
+	for {
+		st, err := dist.FetchStatus(ctx, addr, co)
+		if err != nil {
+			// Before the first success any error is startup noise (the
+			// status endpoint answers 503 until the campaign installs).
+			// After it, a few misses are a network blip — but a coordinator
+			// that stays gone means the campaign is over or crashed, and
+			// spinning on it forever helps nobody.
+			if connected {
+				if misses++; misses >= 5 {
+					return fmt.Errorf("watch %s: coordinator unreachable: %w", addr, err)
+				}
+			}
+			fmt.Fprintf(out, "watch %s: %v\n", addr, err)
+		} else {
+			connected, misses = true, 0
+			if clearScreen {
+				fmt.Fprint(out, "\x1b[H\x1b[2J")
+			}
+			fmt.Fprint(out, st.Table())
+			if st.Finished {
+				return nil
+			}
+		}
+		time.Sleep(interval)
+	}
+}
+
+// isTTY reports whether w is a character device (an interactive
+// terminal), the signal that in-place ANSI redraws are appropriate.
+func isTTY(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	st, err := f.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
 }

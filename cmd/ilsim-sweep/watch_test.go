@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"ilsim/internal/core"
+	"ilsim/internal/dist"
+	"ilsim/internal/exp"
 )
 
 // startServe launches a -serve sweep in a goroutine and returns the bound
@@ -89,6 +94,87 @@ func TestSweepWatchAndToken(t *testing.T) {
 	wg.Wait()
 	if !strings.Contains(serveOut.String(), "sweep banks") {
 		t.Fatalf("coordinator produced no sweep table:\n%s", serveOut.String())
+	}
+}
+
+// TestSweepServeReplicas drives the quorum flag end to end: with
+// -replicas 2 every job needs matching ballots from two distinct workers
+// before it is accepted, so the campaign only completes once both CLI
+// workers have executed the whole job set — and the sweep table still
+// prints normally.
+func TestSweepServeReplicas(t *testing.T) {
+	sweep := []string{"-param", "banks", "-workload", "ArrayBW", "-points", "2",
+		"-serve", "127.0.0.1:0", "-replicas", "2"}
+	var serveOut bytes.Buffer
+	serveErr := &syncBuffer{}
+	addr, serveDone := startServe(t, sweep, &serveOut, serveErr)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var wOut bytes.Buffer
+			wErr := &syncBuffer{}
+			if err := run([]string{"-connect", addr, "-j", "2"}, &wOut, wErr); err != nil {
+				t.Errorf("replica worker: %v\nstderr: %s", err, wErr.String())
+			}
+		}()
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve run: %v\nstderr: %s", err, serveErr.String())
+	}
+	wg.Wait()
+	if !strings.Contains(serveOut.String(), "sweep banks") {
+		t.Fatalf("coordinator produced no sweep table:\n%s", serveOut.String())
+	}
+}
+
+// TestSweepWatchInterval drives -watch -interval against an in-process
+// coordinator: the loop redraws until the status reports the campaign
+// finished, then exits nil on its own. The sink is a plain buffer, not a
+// TTY, so frames must append without ANSI clear sequences.
+func TestSweepWatchInterval(t *testing.T) {
+	pts, err := exp.SweepPoints("banks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := exp.PairJobs("ArrayBW", 1, pts[:2], core.RunOptions{})
+
+	c := dist.NewCoordinator(dist.Options{Addr: "127.0.0.1:0", LongPoll: 50 * time.Millisecond})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Closed at the end, not deferred into the race: the finished campaign
+	// stays queryable until then, so the watch loop always gets to observe
+	// the terminal status.
+	campDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Run(jobs)
+		campDone <- err
+	}()
+	w := &dist.Worker{Coordinator: c.Addr(), Name: "watched", Slots: 1}
+	wDone := make(chan error, 1)
+	go func() { wDone <- w.Run(context.Background()) }()
+
+	var out, errw bytes.Buffer
+	if err := run([]string{"-watch", c.Addr(), "-interval", "2ms"}, &out, &errw); err != nil {
+		t.Fatalf("interval watch: %v\noutput: %s", err, out.String())
+	}
+	if err := <-wDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-campDone; err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	frames := out.String()
+	if !strings.Contains(frames, "4/4 done") {
+		t.Fatalf("watch exited without a finished frame:\n%s", frames)
+	}
+	if strings.Contains(frames, "\x1b[") {
+		t.Fatalf("ANSI escape written to a non-TTY sink:\n%q", frames)
 	}
 }
 

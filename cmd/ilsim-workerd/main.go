@@ -13,11 +13,24 @@
 // Leases arrive as bundles sized by this worker's observed throughput
 // (-bundle caps the per-lease work target); each job's result streams back
 // individually, so a kill mid-bundle forfeits only un-acked work. For
-// hardened coordinators, -token sends the shared auth token and
-// -tls-ca/-tls-insecure dial https. -status-poll logs the coordinator's
-// campaign status — queue depth, fleet throughput, the WantWorkers
-// autoscaling hint — at a fixed interval, giving supervisor scripts a
-// scrapeable scaling signal.
+// hardened coordinators, -token sends the shared auth token,
+// -tls-ca/-tls-insecure dial https, and -tls-cert/-tls-key present this
+// worker's client certificate to a mutual-TLS coordinator. -status-poll
+// logs the coordinator's campaign status — queue depth, fleet throughput,
+// the WantWorkers autoscaling hint — at a fixed interval, giving
+// supervisor scripts a scrapeable scaling signal.
+//
+// The first SIGINT/SIGTERM drains gracefully: in-flight jobs finish and
+// report, the unstarted remainder of the current bundle is released back
+// to the coordinator, and the process exits 0. A second signal aborts
+// hard — work in flight cancels and held leases lapse via their TTL.
+//
+// -chaos injects deterministic, seeded network faults (drops, delays,
+// duplicates, corrupted and truncated responses, timed partitions) into
+// this worker's coordinator connection — a development harness for
+// rehearsing the retry, integrity-hash and re-lease machinery against a
+// reproducible hostile network. See package ilsim/internal/chaos for the
+// spec syntax.
 //
 // Usage:
 //
@@ -26,6 +39,8 @@
 //	ilsim-workerd -connect host:9666 -retries 2   # local transient retries
 //	ilsim-workerd -connect host:9666 -bundle 2s -status-poll 10s
 //	ilsim-workerd -connect host:9666 -token s3cret -tls-ca coord.pem
+//	ilsim-workerd -connect host:9666 -tls-ca ca.pem -tls-cert w.pem -tls-key w.key
+//	ilsim-workerd -connect host:9666 -chaos 'seed=7,drop=0.05,delay=20ms:0.2'
 package main
 
 import (
@@ -39,9 +54,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
+	"ilsim/internal/chaos"
 	"ilsim/internal/dist"
 	"ilsim/internal/exp"
 )
@@ -67,6 +84,9 @@ func run(args []string, out, errw io.Writer) error {
 	token := fs.String("token", "", "shared auth token for a coordinator started with -token")
 	tlsCA := fs.String("tls-ca", "", "trust this PEM certificate (e.g. a self-signed coordinator cert) and dial https")
 	tlsInsecure := fs.Bool("tls-insecure", false, "dial https without verifying the coordinator certificate (lab use only)")
+	tlsCert := fs.String("tls-cert", "", "present this PEM certificate as the worker's client certificate (mutual TLS; needs -tls-key)")
+	tlsKey := fs.String("tls-key", "", "private key for -tls-cert")
+	chaosSpec := fs.String("chaos", "", "inject deterministic seeded network faults into the coordinator connection, e.g. 'seed=7,drop=0.05,corrupt=0.02,delay=20ms:0.2' (dev/test harness)")
 	statusPoll := fs.Duration("status-poll", 0, "log the coordinator's campaign status (queue depth, throughput, WantWorkers hint) to stderr at this interval (0 = off)")
 	verbose := fs.Bool("v", false, "log lifecycle events to stderr")
 	debugAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -89,7 +109,26 @@ func run(args []string, out, errw io.Writer) error {
 		*slots = runtime.GOMAXPROCS(0)
 	}
 
-	clientOpts := dist.ClientOptions{AuthToken: *token, TLSCACert: *tlsCA, TLSSkipVerify: *tlsInsecure}
+	clientOpts := dist.ClientOptions{
+		AuthToken:     *token,
+		TLSCACert:     *tlsCA,
+		TLSSkipVerify: *tlsInsecure,
+		TLSCert:       *tlsCert,
+		TLSKey:        *tlsKey,
+	}
+	var chaosT *chaos.Transport
+	if *chaosSpec != "" {
+		plan, err := chaos.ParsePlan(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		clientOpts.Wrap = func(inner http.RoundTripper) http.RoundTripper {
+			t := plan.Transport(inner)
+			chaosT = t
+			return t
+		}
+		fmt.Fprintf(errw, "chaos: injecting faults (%s)\n", *chaosSpec)
+	}
 	eng := exp.New(0)
 	eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
 	w := &dist.Worker{
@@ -105,23 +144,54 @@ func run(args []string, out, errw io.Writer) error {
 		w.Logf = func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) }
 	}
 
-	// SIGINT/SIGTERM abandon held leases cleanly: in-flight jobs cancel,
-	// nothing half-done is reported, and the coordinator re-leases after
-	// the lease TTL.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	ctx, cancel := context.WithCancel(ctx) // also ends the status poller on return
+	// Two-stage shutdown. The first SIGINT/SIGTERM drains: in-flight
+	// jobs finish and report, the unstarted remainder of the bundle is
+	// released back to the coordinator, and Run returns cleanly. A
+	// second signal aborts hard — work cancels mid-flight and held
+	// leases lapse via their TTL.
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		select {
+		case <-ctx.Done():
+			return
+		case <-sigs:
+		}
+		fmt.Fprintln(errw, "draining: finishing in-flight jobs, releasing the rest (signal again to abort)")
+		w.Drain()
+		select {
+		case <-ctx.Done():
+		case <-sigs:
+			fmt.Fprintln(errw, "aborting: cancelling in-flight work")
+			cancel()
+		}
+	}()
 
+	stopPoll := func() {}
 	if *statusPoll > 0 {
 		// The poller shares the worker's credentials, so a hardened
-		// coordinator feeds the same autoscaling signal as an open one.
+		// coordinator feeds the same autoscaling signal as an open one. It
+		// is stopped (and waited for) before the exit report so the two
+		// never interleave on the log stream.
+		pollStop := make(chan struct{})
+		pollDone := make(chan struct{})
+		var pollOnce sync.Once
+		stopPoll = func() {
+			pollOnce.Do(func() { close(pollStop) })
+			<-pollDone
+		}
 		go func() {
+			defer close(pollDone)
 			t := time.NewTicker(*statusPoll)
 			defer t.Stop()
 			for {
 				select {
 				case <-ctx.Done():
+					return
+				case <-pollStop:
 					return
 				case <-t.C:
 					if st, err := dist.FetchStatus(ctx, *connect, clientOpts); err == nil {
@@ -133,15 +203,26 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	if err := w.Run(ctx); err != nil {
+		stopPoll()
 		return err
 	}
-	if *statusPoll > 0 {
+	stopPoll()
+	if *statusPoll > 0 && !w.Draining() {
 		// One final snapshot so the log always ends with the campaign's
 		// closing state, even when the run outpaces the poll interval.
 		if st, err := dist.FetchStatus(ctx, *connect, clientOpts); err == nil {
 			fmt.Fprintln(errw, st.Summary())
 		}
 	}
-	fmt.Fprintln(out, "campaign complete")
+	if chaosT != nil {
+		s := chaosT.Stats()
+		fmt.Fprintf(errw, "chaos: %d requests: %d dropped, %d delayed, %d duplicated, %d truncated, %d corrupted, %d partitioned\n",
+			s.Requests, s.Drops, s.Delays, s.Dups, s.Truncates, s.Corrupts, s.Partitioned)
+	}
+	if w.Draining() {
+		fmt.Fprintln(out, "drained")
+	} else {
+		fmt.Fprintln(out, "campaign complete")
+	}
 	return nil
 }

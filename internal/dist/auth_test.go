@@ -177,6 +177,116 @@ func TestSelfSignedTLSCampaign(t *testing.T) {
 	}
 }
 
+// writeClientCert generates an ephemeral self-signed CLIENT certificate
+// with the given CommonName — usable both as a worker's keypair and,
+// because it is self-signed, as the coordinator's client-CA bundle.
+func writeClientCert(t *testing.T, cn string) (certPath, keyPath string) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(2),
+		Subject:               pkix.Name{CommonName: cn},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certPath = filepath.Join(dir, "client.pem")
+	keyPath = filepath.Join(dir, "client.key")
+	if err := os.WriteFile(certPath, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certPath, keyPath
+}
+
+// TestMutualTLSCampaign runs the mutual-TLS path end to end: the
+// coordinator demands client certificates signed by its client CA, a
+// worker without one is refused at the handshake, a worker presenting the
+// certificate completes the campaign, and the certificate's CN shows up
+// against the worker in the status feed.
+func TestMutualTLSCampaign(t *testing.T) {
+	serverCert, serverKey := writeSelfSignedCert(t)
+	clientCert, clientKey := writeClientCert(t, "trusted-fleet-worker")
+	jobs := testJobs(t, 2)
+	want := localFingerprints(t, jobs)
+	ctx := context.Background()
+	c, out := startCampaign(t, ctx, Options{
+		TLSCert:     serverCert,
+		TLSKey:      serverKey,
+		TLSClientCA: clientCert, // self-signed: the cert is its own CA
+		LongPoll:    100 * time.Millisecond,
+	}, jobs)
+
+	// No client certificate: the TLS handshake itself is refused, long
+	// before any protocol endpoint.
+	bare := &Worker{Coordinator: c.Addr(), Name: "certless",
+		Client:      ClientOptions{TLSCACert: serverCert},
+		RetryWindow: time.Second}
+	if err := bare.Run(ctx); err == nil {
+		t.Fatal("certless worker joined a mutual-TLS coordinator")
+	}
+
+	co := ClientOptions{TLSCACert: serverCert, TLSCert: clientCert, TLSKey: clientKey}
+	w := &Worker{Coordinator: c.Addr(), Name: "mtls-worker", Slots: 2, Client: co}
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	oc := <-out
+	if oc.err != nil {
+		t.Fatal(oc.err)
+	}
+	checkFingerprints(t, oc.results, want)
+
+	// The client certificate's CN is recorded against the worker.
+	st, err := FetchStatus(ctx, c.Addr(), co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ws := range st.PerWorker {
+		if ws.Name == "mtls-worker" {
+			found = true
+			if ws.CN != "trusted-fleet-worker" {
+				t.Fatalf("worker CN = %q, want trusted-fleet-worker", ws.CN)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("mtls-worker missing from status")
+	}
+	if !strings.Contains(st.Table(), "trusted-fleet-worker") {
+		t.Fatalf("status table does not show the certificate CN:\n%s", st.Table())
+	}
+}
+
+// TestMutualTLSRequiresServerCert: TLSClientCA without a server keypair is
+// a configuration error, caught at Start.
+func TestMutualTLSRequiresServerCert(t *testing.T) {
+	clientCert, _ := writeClientCert(t, "x")
+	c := NewCoordinator(Options{Addr: "127.0.0.1:0", TLSClientCA: clientCert})
+	if err := c.Start(); err == nil {
+		c.Close()
+		t.Fatal("Start accepted TLSClientCA without TLSCert/TLSKey")
+	}
+}
+
 // TestTLSSkipVerify covers the lab escape hatch: no CA file, verification
 // off, transport still TLS.
 func TestTLSSkipVerify(t *testing.T) {

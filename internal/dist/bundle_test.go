@@ -155,9 +155,9 @@ func TestMidBundleWorkerKill(t *testing.T) {
 	cp := waitCampaign(t, c)
 	for {
 		cp.mu.Lock()
-		l, leased := cp.leases[2]
+		_, byDoomed := cp.leases[2]["doomed"]
 		cp.mu.Unlock()
-		if leased && l.worker == "doomed" {
+		if byDoomed {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ilsim/internal/chaos"
+)
+
+// TestChaosCampaignMatchesLocal is the chaos-hardening acceptance test: a
+// full campaign runs with every worker's coordinator connection behind a
+// seeded fault-injecting transport — dropped, delayed and duplicated
+// requests, corrupted and truncated responses, and a timed partition —
+// and the final result set must still be byte-identical to a local run.
+// The transports' stats prove the chaos actually fired rather than
+// matching nothing.
+func TestChaosCampaignMatchesLocal(t *testing.T) {
+	jobs := testJobs(t, 4)
+	want := localFingerprints(t, jobs)
+
+	// Chaos produces lease expiries and integrity rejections by design;
+	// this test is about recovery, not conviction, so the ledger threshold
+	// is parked out of reach.
+	hp := DefaultHealthPolicy()
+	hp.Threshold = 1000
+	ctx := context.Background()
+	c, out := startCampaign(t, ctx, Options{
+		LongPoll: 100 * time.Millisecond,
+		LeaseTTL: 500 * time.Millisecond,
+		Health:   &hp,
+		Logf:     t.Logf,
+	}, jobs)
+
+	// Every-based rules are exactly periodic, so with enough requests each
+	// fault class is guaranteed to fire; the partition window opens almost
+	// immediately and blackholes everything for 150ms.
+	plan := chaos.Plan{
+		Seed: 7,
+		Rules: []chaos.Rule{
+			{Every: 6, Fault: chaos.Fault{Drop: true}},
+			{Every: 7, Fault: chaos.Fault{Corrupt: true}},
+			{Every: 9, Fault: chaos.Fault{Dup: true}},
+			{Every: 11, Fault: chaos.Fault{Truncate: true}},
+			{Every: 4, Fault: chaos.Fault{Delay: 5 * time.Millisecond}},
+		},
+		Partitions: []chaos.Partition{{After: 30 * time.Millisecond, For: 150 * time.Millisecond}},
+	}
+
+	var mu sync.Mutex
+	var transports []*chaos.Transport
+	var wg sync.WaitGroup
+	for _, name := range []string{"c1", "c2"} {
+		w := &Worker{
+			Coordinator: c.Addr(), Name: name, Slots: 2,
+			RetryWindow: 30 * time.Second,
+			Client: ClientOptions{Wrap: func(inner http.RoundTripper) http.RoundTripper {
+				tr := plan.Transport(inner)
+				mu.Lock()
+				transports = append(transports, tr)
+				mu.Unlock()
+				return tr
+			}},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker %s: %v", w.Name, err)
+			}
+		}()
+	}
+
+	oc := <-out
+	wg.Wait()
+	if oc.err != nil {
+		t.Fatal(oc.err)
+	}
+	checkFingerprints(t, oc.results, want)
+	if oc.metrics.Failed != 0 {
+		t.Fatalf("metrics under chaos: %+v", oc.metrics)
+	}
+
+	var total chaos.Stats
+	mu.Lock()
+	for _, tr := range transports {
+		s := tr.Stats()
+		total.Requests += s.Requests
+		total.Drops += s.Drops
+		total.Delays += s.Delays
+		total.Dups += s.Dups
+		total.Truncates += s.Truncates
+		total.Corrupts += s.Corrupts
+		total.Partitioned += s.Partitioned
+	}
+	mu.Unlock()
+	t.Logf("chaos totals: %+v", total)
+	if total.Requests < 12 {
+		t.Fatalf("only %d requests crossed the chaos transports; the campaign barely exercised them", total.Requests)
+	}
+	// Delay fires every 4th request and Drop every 6th, so both must have
+	// fired; injected faults overall must be plural.
+	if total.Delays == 0 || total.Drops == 0 {
+		t.Fatalf("expected deterministic delay and drop faults to fire: %+v", total)
+	}
+	if faults := total.Drops + total.Dups + total.Truncates + total.Corrupts + total.Partitioned; faults < 3 {
+		t.Fatalf("only %d faults injected: %+v", faults, total)
+	}
+}
+
+// TestChaosCampaignSeededReplay runs the same small campaign twice under
+// the same plan: both runs must complete with identical fingerprints —
+// chaos may reorder recovery work but can never change results.
+func TestChaosCampaignSeededReplay(t *testing.T) {
+	jobs := testJobs(t, 2)
+	want := localFingerprints(t, jobs)
+	plan := chaos.Plan{
+		Seed: 11,
+		Rules: []chaos.Rule{
+			{Every: 5, Fault: chaos.Fault{Corrupt: true}},
+			{Every: 3, Fault: chaos.Fault{Delay: 2 * time.Millisecond}},
+		},
+	}
+	hp := DefaultHealthPolicy()
+	hp.Threshold = 1000
+	for round := 0; round < 2; round++ {
+		ctx := context.Background()
+		c, out := startCampaign(t, ctx, Options{
+			LongPoll: 50 * time.Millisecond,
+			LeaseTTL: 400 * time.Millisecond,
+			Health:   &hp,
+		}, jobs)
+		w := &Worker{
+			Coordinator: c.Addr(), Name: "replay", Slots: 1,
+			RetryWindow: 30 * time.Second,
+			Client: ClientOptions{Wrap: func(inner http.RoundTripper) http.RoundTripper {
+				return plan.Transport(inner)
+			}},
+		}
+		if err := w.Run(ctx); err != nil {
+			t.Fatalf("round %d worker: %v", round, err)
+		}
+		oc := <-out
+		if oc.err != nil {
+			t.Fatalf("round %d: %v", round, oc.err)
+		}
+		checkFingerprints(t, oc.results, want)
+	}
+}

@@ -27,8 +27,18 @@ type ClientOptions struct {
 	// lab use only: it keeps the transport encrypted but not
 	// authenticated.
 	TLSSkipVerify bool
+	// TLSCert and TLSKey are a PEM client-certificate pair presented to
+	// a mutual-TLS coordinator (Options.TLSClientCA); setting them also
+	// makes bare addresses dial https.
+	TLSCert string
+	TLSKey  string
+	// Wrap, when non-nil, wraps the constructed transport — the hook the
+	// chaos package's fault injector plugs into. Ignored when HTTPClient
+	// is set (wrap that client's transport yourself).
+	Wrap func(http.RoundTripper) http.RoundTripper
 	// HTTPClient overrides the constructed client entirely (tests,
-	// custom transports). TLSCACert/TLSSkipVerify are ignored when set.
+	// custom transports). The other TLS fields and Wrap are ignored when
+	// set.
 	HTTPClient *http.Client
 }
 
@@ -36,7 +46,7 @@ type ClientOptions struct {
 // dialed over https. Callers supplying their own HTTPClient pass a
 // scheme-qualified URL instead.
 func (co ClientOptions) useTLS() bool {
-	return co.TLSCACert != "" || co.TLSSkipVerify
+	return co.TLSCACert != "" || co.TLSSkipVerify || (co.TLSCert != "" && co.TLSKey != "")
 }
 
 // baseURL normalizes a coordinator address into a scheme-qualified base
@@ -58,25 +68,36 @@ func (co ClientOptions) client() (*http.Client, error) {
 	if co.HTTPClient != nil {
 		return co.HTTPClient, nil
 	}
-	if co.TLSCACert == "" && !co.TLSSkipVerify {
-		return &http.Client{}, nil
-	}
-	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
-	if co.TLSSkipVerify {
-		cfg.InsecureSkipVerify = true
-	}
-	if co.TLSCACert != "" {
-		pem, err := os.ReadFile(co.TLSCACert)
-		if err != nil {
-			return nil, fmt.Errorf("dist: read TLS CA cert: %w", err)
+	var transport http.RoundTripper
+	if co.useTLS() {
+		cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+		if co.TLSSkipVerify {
+			cfg.InsecureSkipVerify = true
 		}
-		pool := x509.NewCertPool()
-		if !pool.AppendCertsFromPEM(pem) {
-			return nil, fmt.Errorf("dist: no certificates in %s", co.TLSCACert)
+		if co.TLSCACert != "" {
+			pem, err := os.ReadFile(co.TLSCACert)
+			if err != nil {
+				return nil, fmt.Errorf("dist: read TLS CA cert: %w", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				return nil, fmt.Errorf("dist: no certificates in %s", co.TLSCACert)
+			}
+			cfg.RootCAs = pool
 		}
-		cfg.RootCAs = pool
+		if co.TLSCert != "" || co.TLSKey != "" {
+			cert, err := tls.LoadX509KeyPair(co.TLSCert, co.TLSKey)
+			if err != nil {
+				return nil, fmt.Errorf("dist: load client TLS keypair: %w", err)
+			}
+			cfg.Certificates = []tls.Certificate{cert}
+		}
+		transport = &http.Transport{TLSClientConfig: cfg}
 	}
-	return &http.Client{Transport: &http.Transport{TLSClientConfig: cfg}}, nil
+	if co.Wrap != nil {
+		transport = co.Wrap(transport)
+	}
+	return &http.Client{Transport: transport}, nil
 }
 
 // authorize attaches the bearer token, if any.

@@ -4,12 +4,14 @@ import (
 	"context"
 	"crypto/subtle"
 	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -36,11 +38,26 @@ type Options struct {
 	// for: the hint is the slot count that would finish the remaining
 	// jobs within this window (default DefaultScaleHorizon).
 	ScaleHorizon time.Duration
+	// Replicas leases every job to this many distinct workers and accepts
+	// the majority result (votes are stats.Run integrity hashes — see
+	// package docs). 0 or 1 means no replication: first result wins,
+	// exactly the pre-quorum behavior. Use 3 when workers are untrusted;
+	// even values work but buy no extra fault tolerance over the next
+	// odd value down.
+	Replicas int
+	// Health tunes the worker health ledger and quarantine thresholds
+	// (nil = DefaultHealthPolicy).
+	Health *HealthPolicy
 	// TLSCert and TLSKey are PEM file paths; when both are set the
 	// coordinator serves its endpoints over TLS. Self-signed pairs work —
 	// point workers at the certificate via ClientOptions.TLSCACert.
 	TLSCert string
 	TLSKey  string
+	// TLSClientCA is a PEM CA-bundle path; when set (TLSCert/TLSKey
+	// required too) the coordinator demands a client certificate signed
+	// by it on every connection — mutual TLS. The client certificate's
+	// CN is recorded in the worker's WorkerStatus.
+	TLSClientCA string
 	// AuthToken, when non-empty, requires `Authorization: Bearer <token>`
 	// on every endpoint (status and pprof included), compared in constant
 	// time. Wrong or missing tokens get 401.
@@ -92,6 +109,13 @@ func NewCoordinator(opts Options) *Coordinator {
 	if opts.ScaleHorizon <= 0 {
 		opts.ScaleHorizon = DefaultScaleHorizon
 	}
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	if opts.Health == nil {
+		hp := DefaultHealthPolicy()
+		opts.Health = &hp
+	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
@@ -110,6 +134,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /lease", c.handleLease)
 	mux.HandleFunc("POST /result", c.handleResult)
 	mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /release", c.handleRelease)
 	mux.HandleFunc("GET /status", c.handleStatus)
 	if c.opts.DebugPprof {
 		registerPprof(mux)
@@ -148,16 +173,35 @@ func (c *Coordinator) Start() error {
 	if err != nil {
 		return fmt.Errorf("dist: listen %s: %w", c.opts.Addr, err)
 	}
+	if c.opts.TLSClientCA != "" && (c.opts.TLSCert == "" || c.opts.TLSKey == "") {
+		ln.Close()
+		return fmt.Errorf("dist: -tls-client-ca requires a server certificate (TLSCert/TLSKey)")
+	}
 	if c.opts.TLSCert != "" || c.opts.TLSKey != "" {
 		cert, err := tls.LoadX509KeyPair(c.opts.TLSCert, c.opts.TLSKey)
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("dist: load TLS keypair: %w", err)
 		}
-		ln = tls.NewListener(ln, &tls.Config{
+		cfg := &tls.Config{
 			Certificates: []tls.Certificate{cert},
 			MinVersion:   tls.VersionTLS12,
-		})
+		}
+		if c.opts.TLSClientCA != "" {
+			pem, err := os.ReadFile(c.opts.TLSClientCA)
+			if err != nil {
+				ln.Close()
+				return fmt.Errorf("dist: read client CA: %w", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				ln.Close()
+				return fmt.Errorf("dist: no certificates in client CA %s", c.opts.TLSClientCA)
+			}
+			cfg.ClientCAs = pool
+			cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		}
+		ln = tls.NewListener(ln, cfg)
 	}
 	c.ln = ln
 	c.srv = &http.Server{Handler: c.Handler()}
@@ -207,6 +251,10 @@ func (c *Coordinator) RunContext(ctx context.Context, jobs []exp.Job) ([]exp.Res
 			if r, ok := c.opts.Journal.Completed(i); ok {
 				cp.results[i].Run, cp.results[i].Wall, cp.results[i].Resumed = r.Run, r.Wall, true
 				cp.state[i] = stateDone
+				// Record the accepted ballot so a stray post-restart
+				// result for this job is judged against it rather than
+				// counted as dissent by default.
+				cp.accepted[i] = exp.RunSHA(r.Run)
 				cp.done++
 				cp.resumed++
 			}
@@ -310,8 +358,8 @@ func reclaimEvery(ttl time.Duration) time.Duration {
 const ewmaAlpha = 0.3
 
 // workerState is everything the coordinator tracks per worker: liveness,
-// the completion handshake, and the runtime estimate behind bundle sizing
-// and the autoscaling hints.
+// the completion handshake, the runtime estimate behind bundle sizing
+// and the autoscaling hints, and the health ledger behind quarantine.
 type workerState struct {
 	seen time.Time
 	// slots is the worker's declared lease-poll concurrency; acked counts
@@ -320,13 +368,29 @@ type workerState struct {
 	// so every polling slot learns the campaign is over.
 	slots int
 	acked int
-	// done counts results accepted from this worker; ewma tracks its
+	// done counts results reported by this worker; ewma tracks its
 	// observed per-job runtime.
 	done int
 	ewma time.Duration
+	// cn is the CommonName of the worker's client certificate under
+	// mutual TLS.
+	cn string
+	// Health ledger: score decays exponentially from scoreAt; a non-zero
+	// quarantinedUntil in the future means leases are refused. The
+	// counters feed WorkerStatus.
+	score            float64
+	scoreAt          time.Time
+	quarantinedUntil time.Time
+	quarantines      int
+	integrity        int
+	dissents         int
+	expiries         int
 }
 
-// campaign is the lease table and result store of one job set.
+// campaign is the lease table, ballot box and result store of one job
+// set. With replicas > 1 a job may be leased to several workers at once;
+// leases maps job index → holder → deadline, and votes/ballots/accepted
+// run the per-job election over result fingerprints.
 type campaign struct {
 	mu      sync.Mutex
 	jobs    []exp.Job
@@ -334,8 +398,21 @@ type campaign struct {
 	setFP   string
 	results []exp.Result
 	state   []jobState
-	leases  map[int]lease
+	leases  map[int]map[string]time.Time
 	workers map[string]*workerState
+
+	// replicas is the quorum width; health the ledger policy.
+	replicas int
+	health   HealthPolicy
+	// votes[idx] maps voter → ballot key; ballots[idx] maps ballot key →
+	// the first result that cast it; accepted[idx] is the winning key
+	// once the job is done ("" for resumed failures and pre-quorum
+	// campaigns); tallying[idx] guards the unlock-journal-relock window
+	// so one election is only journaled once.
+	votes    []map[string]string
+	ballots  []map[string]voteOutcome
+	accepted []string
+	tallying []bool
 
 	done, resumed, failed, retries int
 	jobWall                        time.Duration
@@ -369,16 +446,25 @@ type jobState uint8
 
 const (
 	statePending jobState = iota
-	stateLeased
 	stateDone
 )
 
-type lease struct {
-	worker   string
-	deadline time.Time
+// voteOutcome is one ballot's evidence: the first result that cast it and
+// the worker it came from (the worker credited on acceptance).
+type voteOutcome struct {
+	res    exp.Result
+	worker string
 }
 
 func newCampaign(jobs []exp.Job, opts Options) *campaign {
+	replicas := opts.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	health := DefaultHealthPolicy()
+	if opts.Health != nil {
+		health = *opts.Health
+	}
 	cp := &campaign{
 		jobs:         jobs,
 		fps:          make([]string, len(jobs)),
@@ -386,8 +472,14 @@ func newCampaign(jobs []exp.Job, opts Options) *campaign {
 		results:      make([]exp.Result, len(jobs)),
 		state:        make([]jobState, len(jobs)),
 		grants:       make([]int, len(jobs)),
-		leases:       make(map[int]lease),
+		leases:       make(map[int]map[string]time.Time),
 		workers:      make(map[string]*workerState),
+		replicas:     replicas,
+		health:       health,
+		votes:        make([]map[string]string, len(jobs)),
+		ballots:      make([]map[string]voteOutcome, len(jobs)),
+		accepted:     make([]string, len(jobs)),
+		tallying:     make([]bool, len(jobs)),
 		start:        time.Now(),
 		changed:      make(chan struct{}),
 		finished:     make(chan struct{}),
@@ -433,21 +525,28 @@ func (cp *campaign) finishedNow() bool {
 	}
 }
 
-// reclaimLocked returns every expired lease to the pending pool. Leases
-// are per job even when granted as a bundle, so only the un-acked
-// remainder of a dead worker's bundle comes back — jobs it already
-// reported stay done. Callers hold cp.mu.
+// reclaimLocked returns every expired lease to the pending pool and
+// charges the expiry against the holder's health ledger. Leases are per
+// job even when granted as a bundle, so only the un-acked remainder of a
+// dead worker's bundle comes back — jobs it already reported stay done.
+// Callers hold cp.mu.
 func (cp *campaign) reclaimLocked(now time.Time) {
 	woke := false
-	for idx, l := range cp.leases {
-		if now.Before(l.deadline) {
-			continue
+	for idx, holders := range cp.leases {
+		for worker, deadline := range holders {
+			if now.Before(deadline) {
+				continue
+			}
+			delete(holders, worker)
+			if cp.state[idx] != stateDone {
+				woke = true
+				cp.logf("dist: lease on job %d (%s) held by %s expired; reassigning", idx, cp.jobs[idx], worker)
+				cp.workerLocked(worker).expiries++
+				cp.strikeLocked(worker, cp.health.WExpiry, fmt.Sprintf("lease expiry on job %d", idx), now)
+			}
 		}
-		delete(cp.leases, idx)
-		if cp.state[idx] == stateLeased {
-			cp.state[idx] = statePending
-			woke = true
-			cp.logf("dist: lease on job %d (%s) held by %s expired; reassigning", idx, cp.jobs[idx], l.worker)
+		if len(holders) == 0 {
+			delete(cp.leases, idx)
 		}
 	}
 	if woke {
@@ -486,17 +585,59 @@ func (cp *campaign) bundleSizeLocked(worker string, workerMS int64) int {
 	return n
 }
 
-// takeLocked hands up to max of the lowest pending jobs to worker as one
-// bundle. Callers hold cp.mu.
+// wantLeasesLocked returns how many leases job idx should have
+// outstanding given its election so far: provision the full replica
+// count up front, then keep enough in flight to reach a majority — so a
+// split election (every voter a different ballot) extends itself one
+// voter at a time until some ballot wins. Callers hold cp.mu.
+func (cp *campaign) wantLeasesLocked(idx int) int {
+	want := cp.replicas - len(cp.votes[idx])
+	best := 0
+	counts := make(map[string]int, len(cp.votes[idx]))
+	for _, k := range cp.votes[idx] {
+		counts[k]++
+		if counts[k] > best {
+			best = counts[k]
+		}
+	}
+	if need := cp.replicas/2 + 1 - best; need > want {
+		want = need
+	}
+	return want
+}
+
+// takeLocked hands up to max of the lowest eligible jobs to worker as one
+// bundle. A job is eligible when it is not done, this worker neither
+// holds it nor has voted on it, and its election still wants more voters
+// than it has leases outstanding. Callers hold cp.mu.
 func (cp *campaign) takeLocked(worker string, now time.Time, max int) []int {
 	var taken []int
 	deadline := now.Add(cp.leaseTTL)
 	for idx, st := range cp.state {
-		if st != statePending {
+		if st == stateDone {
 			continue
 		}
-		cp.state[idx] = stateLeased
-		cp.leases[idx] = lease{worker: worker, deadline: deadline}
+		holders := cp.leases[idx]
+		if _, held := holders[worker]; held {
+			continue
+		}
+		if cp.replicas == 1 {
+			if len(holders) > 0 {
+				continue
+			}
+		} else {
+			if _, voted := cp.votes[idx][worker]; voted {
+				continue
+			}
+			if len(holders) >= cp.wantLeasesLocked(idx) {
+				continue
+			}
+		}
+		if holders == nil {
+			holders = make(map[string]time.Time)
+			cp.leases[idx] = holders
+		}
+		holders[worker] = deadline
 		cp.grants[idx]++
 		taken = append(taken, idx)
 		if len(taken) >= max {
@@ -522,52 +663,160 @@ func (cp *campaign) heartbeat(worker string, held []int, now time.Time) {
 		if idx < 0 || idx >= len(cp.state) {
 			continue
 		}
-		if l, ok := cp.leases[idx]; ok && l.worker == worker {
-			l.deadline = now.Add(cp.leaseTTL)
-			cp.leases[idx] = l
+		if holders := cp.leases[idx]; holders != nil {
+			if _, ok := holders[worker]; ok {
+				holders[worker] = now.Add(cp.leaseTTL)
+			}
 		}
 	}
 }
 
-// release returns a leased job to the pending pool (a worker declined it,
-// e.g. a canceled attempt it will not retry).
+// release returns one worker's lease on a job to the pending pool (the
+// worker declined it: a canceled attempt it will not retry, or a
+// graceful drain handing back its unstarted bundle remainder).
 func (cp *campaign) release(idx int, worker string) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	if l, ok := cp.leases[idx]; ok && l.worker == worker && cp.state[idx] == stateLeased {
-		delete(cp.leases, idx)
-		cp.state[idx] = statePending
-		cp.broadcastLocked()
+	if idx < 0 || idx >= len(cp.state) || cp.state[idx] == stateDone {
+		return
+	}
+	if holders := cp.leases[idx]; holders != nil {
+		if _, ok := holders[worker]; ok {
+			delete(holders, worker)
+			cp.broadcastLocked()
+		}
 	}
 }
 
-// complete records one result for job idx. First result wins: a late
-// duplicate from a presumed-dead worker whose job was already reassigned
-// and finished is acknowledged but dropped (the runs are deterministic, so
-// both copies are identical anyway). The journal write happens before the
-// job is marked done, so an acknowledged result is always durable.
-func (cp *campaign) complete(idx int, r exp.Result, worker string) error {
+// voteKey derives the ballot a result casts: the run's integrity hash
+// for successes (two workers agree iff their runs fingerprint
+// byte-identically), the error class for failures (two workers that both
+// hit a permanent failure agree on "the job fails", not on its text).
+func voteKey(w exp.WireResult, res exp.Result) string {
+	if res.Err != nil {
+		return "err:" + exp.Classify(res.Err).String()
+	}
+	return w.RunSHA
+}
+
+// vote records one worker's result for job idx as a ballot in that job's
+// election and accepts the first ballot to reach a majority of the
+// replica count. With replicas == 1 every election is decided by its
+// first vote, which reduces exactly to the pre-quorum first-result-wins
+// behavior. The journal write happens before the job is marked done, so
+// an acknowledged acceptance is always durable; a journal failure clears
+// the tally guard and surfaces as a 5xx, and the worker's retry re-enters
+// the tally through the duplicate-vote path. Dissenting ballots — cast
+// before or after acceptance — are charged against their workers' health
+// ledgers.
+func (cp *campaign) vote(idx int, res exp.Result, worker, key string) error {
+	now := time.Now()
 	cp.mu.Lock()
-	if cp.state[idx] == stateDone || cp.aborted {
+	if cp.aborted {
 		cp.mu.Unlock()
 		return nil
 	}
+	if cp.quarantinedLocked(worker, now) {
+		// Acked but not evidence: a quarantined worker's ballots are
+		// exactly what the quarantine exists to keep out of elections.
+		cp.logf("dist: dropping result for job %d from quarantined worker %s", idx, worker)
+		cp.mu.Unlock()
+		return nil
+	}
+	ws := cp.workerLocked(worker)
+	ws.seen = now
+	prior, dup := cp.votes[idx][worker]
+	if dup {
+		key = prior // a duplicate delivery cannot switch ballots
+	} else {
+		if cp.votes[idx] == nil {
+			cp.votes[idx] = make(map[string]string)
+		}
+		cp.votes[idx][worker] = key
+		if cp.ballots[idx] == nil {
+			cp.ballots[idx] = make(map[string]voteOutcome)
+		}
+		if _, ok := cp.ballots[idx][key]; !ok {
+			cp.ballots[idx][key] = voteOutcome{res: res, worker: worker}
+		}
+		if holders := cp.leases[idx]; holders != nil {
+			delete(holders, worker)
+		}
+		ws.done++
+		ws.ewma = ewma(ws.ewma, res.Wall)
+		cp.ewma = ewma(cp.ewma, res.Wall)
+		if res.Err != nil && exp.Classify(res.Err) == exp.ClassPanic {
+			cp.strikeLocked(worker, cp.health.WPanic, fmt.Sprintf("panic-class result on job %d", idx), now)
+		}
+	}
+	if cp.state[idx] == stateDone {
+		// Late ballot: the election is over, but agreement is still
+		// evidence — a straggler disagreeing with the accepted result is
+		// as suspect as a dissenting voter.
+		if !dup && cp.accepted[idx] != "" && key != cp.accepted[idx] {
+			ws.dissents++
+			cp.strikeLocked(worker, cp.health.WDissent, fmt.Sprintf("late dissent on job %d", idx), now)
+		}
+		cp.mu.Unlock()
+		return nil
+	}
+	bestKey, best := "", 0
+	counts := make(map[string]int, len(cp.votes[idx]))
+	for _, k := range cp.votes[idx] {
+		counts[k]++
+		if counts[k] > best {
+			bestKey, best = k, counts[k]
+		}
+	}
+	if best < cp.replicas/2+1 {
+		// Election still open. Wake the long-pollers: a fresh dissenting
+		// ballot can raise this job's wanted-lease count.
+		cp.broadcastLocked()
+		cp.mu.Unlock()
+		return nil
+	}
+	if cp.tallying[idx] {
+		// Another request is journaling this election's winner.
+		cp.mu.Unlock()
+		return nil
+	}
+	cp.tallying[idx] = true
+	winner := cp.ballots[idx][bestKey]
 	journal := cp.journal
+	voters := make(map[string]string, len(cp.votes[idx]))
+	for w, k := range cp.votes[idx] {
+		voters[w] = k
+	}
 	cp.mu.Unlock()
 
 	if journal != nil {
-		if err := journal.Record(idx, r); err != nil {
+		if err := journal.Record(idx, winner.res); err != nil {
+			cp.mu.Lock()
+			cp.tallying[idx] = false
+			cp.mu.Unlock()
 			return fmt.Errorf("dist: journal: %w", err)
+		}
+		if cp.replicas > 1 {
+			for w, k := range voters {
+				if err := journal.RecordVote(idx, w, k, bestKey); err != nil {
+					cp.logf("dist: journal: vote record for job %d: %v", idx, err)
+					break
+				}
+			}
 		}
 	}
 
 	cp.mu.Lock()
 	if cp.state[idx] == stateDone || cp.aborted {
+		cp.tallying[idx] = false
 		cp.mu.Unlock()
 		return nil
 	}
-	delete(cp.leases, idx)
 	cp.state[idx] = stateDone
+	cp.accepted[idx] = bestKey
+	cp.tallying[idx] = false
+	delete(cp.leases, idx) // stragglers still running report as late ballots
+	r := winner.res
 	r.Job = cp.jobs[idx]
 	cp.results[idx] = r
 	cp.done++
@@ -578,10 +827,14 @@ func (cp *campaign) complete(idx int, r exp.Result, worker string) error {
 		cp.retries += r.Attempts - 1
 	}
 	cp.jobWall += r.Wall
-	ws := cp.workerLocked(worker)
-	ws.done++
-	ws.ewma = ewma(ws.ewma, r.Wall)
-	cp.ewma = ewma(cp.ewma, r.Wall)
+	for w, k := range voters {
+		if k != bestKey {
+			dws := cp.workerLocked(w)
+			dws.dissents++
+			cp.logf("dist: quorum on job %d: worker %s dissented (%s vs accepted %s)", idx, w, k, bestKey)
+			cp.strikeLocked(w, cp.health.WDissent, fmt.Sprintf("lost quorum vote on job %d", idx), now)
+		}
+	}
 	done, failed, resumed := cp.done, cp.failed, cp.resumed
 	total := len(cp.jobs)
 	elapsed := time.Since(cp.start)
@@ -599,7 +852,7 @@ func (cp *campaign) complete(idx int, r exp.Result, worker string) error {
 			Job:      r.Job, Err: r.Err,
 			Wall: r.Wall, Elapsed: elapsed,
 			ETA:    progressETA(done-resumed, done, total, elapsed),
-			Worker: worker,
+			Worker: winner.worker,
 		})
 		cp.progressMu.Unlock()
 	}
@@ -650,26 +903,45 @@ func (cp *campaign) statusLocked(now time.Time) Status {
 	s := Status{
 		SetFP: cp.setFP, Total: len(cp.jobs),
 		Done: cp.done, Failed: cp.failed, Resumed: cp.resumed,
-		Leased: len(cp.leases), Workers: len(cp.workers),
-		Leases: cp.leaseGrants, MaxBundle: cp.maxBundle,
+		Workers: len(cp.workers),
+		Leases:  cp.leaseGrants, MaxBundle: cp.maxBundle,
 		Finished: cp.finishedNow(),
 	}
-	for _, st := range cp.state {
-		if st == statePending {
+	if cp.replicas > 1 {
+		s.Replicas = cp.replicas
+	}
+	for idx, st := range cp.state {
+		if st == stateDone {
+			continue
+		}
+		if len(cp.leases[idx]) > 0 {
+			s.Leased++
+		} else {
 			s.Pending++
 		}
 	}
 	held := make(map[string]int, len(cp.workers))
-	for _, l := range cp.leases {
-		held[l.worker]++
+	for _, holders := range cp.leases {
+		for w := range holders {
+			held[w]++
+		}
 	}
 	for name, ws := range cp.workers {
-		if now.Sub(ws.seen) <= cp.leaseTTL {
+		quarantined := cp.quarantinedLocked(name, now)
+		if quarantined {
+			s.Quarantined++
+		} else if now.Sub(ws.seen) <= cp.leaseTTL {
 			s.Slots += ws.slots
 		}
 		row := WorkerStatus{
 			Name: name, Slots: ws.slots, Held: held[name],
 			Done: ws.done, EWMAMS: ws.ewma.Milliseconds(),
+			CN:          ws.cn,
+			Score:       cp.scoreLocked(ws, now),
+			Quarantined: quarantined,
+			Dissents:    ws.dissents,
+			Integrity:   ws.integrity,
+			Expiries:    ws.expiries,
 		}
 		if ws.ewma > 0 {
 			row.Throughput = float64(time.Second) / float64(ws.ewma)
@@ -763,13 +1035,22 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if slots <= 0 {
 		slots = 1
 	}
+	cn := ""
+	if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+		cn = r.TLS.PeerCertificates[0].Subject.CommonName
+	}
 	cp.mu.Lock()
 	ws := cp.workerLocked(req.Worker)
 	ws.seen = time.Now()
 	ws.slots = slots
+	ws.cn = cn
 	nWorkers := len(cp.workers)
 	cp.mu.Unlock()
-	cp.logf("dist: worker %s joined (%d known)", req.Worker, nWorkers)
+	if cn != "" {
+		cp.logf("dist: worker %s joined with client cert CN %q (%d known)", req.Worker, cn, nWorkers)
+	} else {
+		cp.logf("dist: worker %s joined (%d known)", req.Worker, nWorkers)
+	}
 	rep := joinReply{SetFP: cp.setFP, Total: len(cp.jobs), LeaseTTLMS: cp.leaseTTL.Milliseconds()}
 	if len(cp.jobs) > 0 {
 		rep.Probe, rep.ProbeFP = &cp.jobs[0], cp.fps[0]
@@ -819,15 +1100,20 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		cp.reclaimLocked(now)
 		cp.workerLocked(req.Worker).seen = now
-		if taken := cp.takeLocked(req.Worker, now, cp.bundleSizeLocked(req.Worker, req.BundleMS)); len(taken) > 0 {
-			bundle := make([]leasedJob, len(taken))
-			for i, idx := range taken {
-				job := cp.jobs[idx]
-				bundle[i] = leasedJob{Index: idx, Job: &job, JobFP: cp.fps[idx]}
+		// A quarantined worker stays in the long-poll loop (so it learns
+		// promptly when the campaign finishes, or when its probation
+		// ends) but is never granted a lease.
+		if !cp.quarantinedLocked(req.Worker, now) {
+			if taken := cp.takeLocked(req.Worker, now, cp.bundleSizeLocked(req.Worker, req.BundleMS)); len(taken) > 0 {
+				bundle := make([]leasedJob, len(taken))
+				for i, idx := range taken {
+					job := cp.jobs[idx]
+					bundle[i] = leasedJob{Index: idx, Job: &job, JobFP: cp.fps[idx]}
+				}
+				cp.mu.Unlock()
+				reply(w, leaseReply{Jobs: bundle})
+				return
 			}
-			cp.mu.Unlock()
-			reply(w, leaseReply{Jobs: bundle})
-			return
 		}
 		ch := cp.changed
 		cp.mu.Unlock()
@@ -862,6 +1148,23 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := req.Result.Decode()
 	if err != nil {
+		// An integrity-hash failure is a health event, not just a bad
+		// request: the sender shipped a payload it could not have
+		// believed in. Strike it and free its lease for re-assignment.
+		var ie *exp.IntegrityError
+		if errors.As(err, &ie) {
+			now := time.Now()
+			cp.mu.Lock()
+			cp.workerLocked(req.Worker).integrity++
+			cp.strikeLocked(req.Worker, cp.health.WIntegrity, fmt.Sprintf("integrity-hash failure on job %d", idx), now)
+			if holders := cp.leases[idx]; holders != nil {
+				if _, held := holders[req.Worker]; held {
+					delete(holders, req.Worker)
+					cp.broadcastLocked()
+				}
+			}
+			cp.mu.Unlock()
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -872,9 +1175,29 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		reply(w, struct{}{})
 		return
 	}
-	if err := cp.complete(idx, res, req.Worker); err != nil {
+	if err := cp.vote(idx, res, req.Worker, voteKey(req.Result, res)); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
+	}
+	reply(w, struct{}{})
+}
+
+// handleRelease hands a draining worker's unstarted leases back so they
+// re-lease immediately instead of waiting out the TTL.
+func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	cp := c.checkSet(w, req.SetFP)
+	if cp == nil {
+		return
+	}
+	for _, idx := range req.Indexes {
+		cp.release(idx, req.Worker)
+	}
+	if len(req.Indexes) > 0 {
+		cp.logf("dist: worker %s released %d leases", req.Worker, len(req.Indexes))
 	}
 	reply(w, struct{}{})
 }

@@ -15,18 +15,32 @@
 // progress survives worker death — lease expiry reassigns only the
 // un-acked remainder of a bundle, never work already reported.
 //
-// The protocol is five JSON-over-HTTP endpoints:
+// The protocol is six JSON-over-HTTP endpoints:
 //
 //	POST /join       version + probe-fingerprint handshake; stale binaries refused
 //	POST /lease      long-poll for a bundle of jobs (index, job, fingerprint each)
 //	POST /result     stream back one exp.WireResult (integrity-hashed)
 //	POST /heartbeat  keep held leases alive
-//	GET  /status     campaign counters plus autoscaling hints
+//	POST /release    hand unstarted leases back (graceful drain)
+//	GET  /status     campaign counters plus autoscaling + health
+//
+// Workers are not trusted. Every result is integrity-hash checked at
+// decode; with Options.Replicas > 1 each job is leased to that many
+// distinct workers and the coordinator votes on stats.Run fingerprints,
+// accepting only the majority result (a lying worker whose results are
+// internally consistent is caught by disagreement, not by hashing). A
+// per-worker health ledger scores integrity failures, quorum dissent,
+// lease expiries and panic-class results; past a threshold the worker is
+// quarantined — leases refused, in-flight jobs re-leased — with timed
+// probation re-admission. internal/chaos supplies the matching offense:
+// a deterministic fault-injecting transport for exercising all of this.
 //
 // Transport hardening is opt-in: Options.TLSCert/TLSKey serve the
 // endpoints over TLS (self-signed works — point workers at the cert with
-// ClientOptions.TLSCACert), and Options.AuthToken requires a shared
-// bearer token on every request, checked in constant time.
+// ClientOptions.TLSCACert), Options.AuthToken requires a shared bearer
+// token on every request, checked in constant time, and
+// Options.TLSClientCA demands client certificates (mutual TLS) — the
+// worker's certificate CN is then recorded in its WorkerStatus.
 //
 // Durability is the journal's: attach an exp.Journal to the coordinator
 // and every accepted result is fsynced before it is acknowledged, so a
@@ -47,8 +61,10 @@ import (
 // match exactly. Bump it on any wire-visible change.
 //
 // History: 1 = single-job leases; 2 = bundled leases (leaseReply.Jobs),
-// bundle targets in leaseRequest, autoscaling fields in Status.
-const ProtocolVersion = 2
+// bundle targets in leaseRequest, autoscaling fields in Status; 3 =
+// POST /release (graceful drain), quorum re-execution (multi-worker
+// leases per job), health/quarantine fields in Status.
+const ProtocolVersion = 3
 
 // Defaults for the lease lifecycle. LeaseTTL bounds how long a silent
 // worker keeps a bundle before its un-acked jobs are reassigned; workers
@@ -134,6 +150,15 @@ type heartbeatRequest struct {
 	Held   []int  `json:"held"`
 }
 
+// releaseRequest hands leases back without results — a draining worker's
+// goodbye, so the coordinator re-leases immediately instead of waiting
+// out the TTL.
+type releaseRequest struct {
+	Worker  string `json:"worker"`
+	SetFP   string `json:"setFp"`
+	Indexes []int  `json:"indexes"`
+}
+
 // WorkerStatus is one worker's row in the Status snapshot.
 type WorkerStatus struct {
 	Name string `json:"name"`
@@ -150,6 +175,18 @@ type WorkerStatus struct {
 	// Throughput is the worker's estimated rate in jobs per second
 	// (1/EWMA; 0 until a first result establishes an estimate).
 	Throughput float64 `json:"throughput"`
+	// CN is the CommonName of the worker's client certificate when the
+	// coordinator runs mutual TLS; empty otherwise.
+	CN string `json:"cn,omitempty"`
+	// Score is the worker's current health-ledger score (decayed);
+	// Quarantined reports whether it is currently refused leases.
+	Score       float64 `json:"score,omitempty"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+	// Dissents counts quorum votes this worker lost, Integrity its
+	// integrity-hash failures, Expiries its expired leases.
+	Dissents  int `json:"dissents,omitempty"`
+	Integrity int `json:"integrity,omitempty"`
+	Expiries  int `json:"expiries,omitempty"`
 }
 
 // Status is the GET /status snapshot: campaign counters plus the
@@ -184,6 +221,10 @@ type Status struct {
 	// finished, or no per-job runtime has been observed yet.
 	WantWorkers int  `json:"wantWorkers"`
 	Finished    bool `json:"finished"`
+	// Replicas is the campaign's quorum width (1 = no replication);
+	// Quarantined counts workers currently refused leases.
+	Replicas    int `json:"replicas,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
 	// PerWorker is one row per worker ever seen, in coordinator map order
 	// (sort before displaying).
 	PerWorker []WorkerStatus `json:"perWorker,omitempty"`
@@ -199,6 +240,12 @@ func (s Status) Summary() string {
 	}
 	if s.WantWorkers > 0 {
 		line += fmt.Sprintf(", want %d slots", s.WantWorkers)
+	}
+	if s.Replicas > 1 {
+		line += fmt.Sprintf(", %d replicas", s.Replicas)
+	}
+	if s.Quarantined > 0 {
+		line += fmt.Sprintf(", %d quarantined", s.Quarantined)
 	}
 	if s.Finished {
 		line += ", finished"
@@ -218,9 +265,20 @@ func (s Status) Table() string {
 	rows := append([]WorkerStatus(nil), s.PerWorker...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	for _, ws := range rows {
-		fmt.Fprintf(&b, "  %-24s slots %-3d held %-3d done %-4d ewma %-8s %.2f jobs/s\n",
-			ws.Name, ws.Slots, ws.Held, ws.Done,
+		name := ws.Name
+		if ws.CN != "" && ws.CN != ws.Name {
+			name += " (" + ws.CN + ")"
+		}
+		fmt.Fprintf(&b, "  %-24s slots %-3d held %-3d done %-4d ewma %-8s %.2f jobs/s",
+			name, ws.Slots, ws.Held, ws.Done,
 			(time.Duration(ws.EWMAMS) * time.Millisecond).Round(time.Millisecond), ws.Throughput)
+		if ws.Quarantined {
+			fmt.Fprintf(&b, "  QUARANTINED (score %.1f, %d dissents, %d integrity, %d expiries)",
+				ws.Score, ws.Dissents, ws.Integrity, ws.Expiries)
+		} else if ws.Score > 0 {
+			fmt.Fprintf(&b, "  score %.1f", ws.Score)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

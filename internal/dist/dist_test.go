@@ -187,9 +187,9 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		cp.mu.Lock()
-		l, leased := cp.leases[0]
+		_, byDoomed := cp.leases[0]["doomed"]
 		cp.mu.Unlock()
-		if leased && l.worker == "doomed" {
+		if byDoomed {
 			break
 		}
 		if time.Now().After(deadline) {

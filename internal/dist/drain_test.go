@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ilsim/internal/exp"
+)
+
+// TestGracefulDrain drains a worker mid-bundle: the job executing when
+// Drain fires must finish and report, the unstarted remainder must come
+// back via POST /release (proven structurally — the lease TTL is 60s, far
+// past the test's patience, so only an explicit release can free the
+// jobs), and a second worker must then finish the campaign with results
+// byte-identical to a local run.
+func TestGracefulDrain(t *testing.T) {
+	jobs := testJobs(t, 4) // 8 jobs: each point pairs into HSAIL + GCN3
+	want := localFingerprints(t, jobs)
+
+	// Slow jobs give the first worker a measurable EWMA, so its second
+	// lease is a multi-job bundle — the thing a drain has to hand back.
+	ctx := context.Background()
+	w1 := &Worker{Name: "drainer", Slots: 1, Engine: slowEngine(jobs, 20*time.Millisecond)}
+	var once sync.Once
+	drained := make(chan struct{})
+	c, out := startCampaign(t, ctx, Options{
+		LongPoll:     100 * time.Millisecond,
+		LeaseTTL:     60 * time.Second,
+		BundleTarget: time.Hour, // bundle everything the EWMA allows
+		Logf:         t.Logf,
+		OnProgress: func(p exp.Progress) {
+			// Second completion = first job of the second (bundled) lease:
+			// drain while the rest of the bundle is still unstarted.
+			if p.Done >= 2 {
+				once.Do(func() {
+					w1.Drain()
+					close(drained)
+				})
+			}
+		},
+	}, jobs)
+	w1.Coordinator = c.Addr()
+
+	w1Done := make(chan error, 1)
+	go func() { w1Done <- w1.Run(ctx) }()
+	<-drained
+	if err := <-w1Done; err != nil {
+		t.Fatalf("draining worker: %v", err)
+	}
+	if !w1.Draining() {
+		t.Fatal("worker does not report Draining after Drain")
+	}
+
+	// The drained worker's leases are gone NOW — not in 60 seconds. The
+	// released jobs are pending again and nothing is left leased to it.
+	cp := waitCampaign(t, c)
+	cp.mu.Lock()
+	released := 0
+	for idx, holders := range cp.leases {
+		if _, held := holders["drainer"]; held {
+			t.Errorf("job %d still leased to the drained worker", idx)
+		}
+		_ = idx
+	}
+	doneSoFar := cp.done
+	maxBundle := cp.maxBundle
+	for _, st := range cp.state {
+		if st != stateDone {
+			released++
+		}
+	}
+	cp.mu.Unlock()
+	if maxBundle < 2 {
+		t.Fatalf("largest bundle was %d jobs; the drain never had a remainder to release", maxBundle)
+	}
+	if doneSoFar == 0 || doneSoFar == len(jobs) {
+		t.Fatalf("drain landed after %d of %d jobs; want a mid-campaign drain", doneSoFar, len(jobs))
+	}
+	if released == 0 {
+		t.Fatal("no jobs left for the relief worker")
+	}
+
+	// A relief worker finishes the campaign well inside the lease TTL.
+	w2 := &Worker{Coordinator: c.Addr(), Name: "relief", Slots: 2}
+	w2Done := make(chan error, 1)
+	go func() { w2Done <- w2.Run(ctx) }()
+	select {
+	case oc := <-out:
+		if oc.err != nil {
+			t.Fatal(oc.err)
+		}
+		checkFingerprints(t, oc.results, want)
+		if oc.metrics.Failed != 0 {
+			t.Fatalf("metrics after drain: %+v", oc.metrics)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign did not finish: the drained leases were never released (TTL would take 60s)")
+	}
+	if err := <-w2Done; err != nil {
+		t.Fatalf("relief worker: %v", err)
+	}
+}
+
+// TestDrainBeforeRun: a worker drained before it starts leases nothing,
+// reports nothing, and returns nil immediately.
+func TestDrainBeforeRun(t *testing.T) {
+	jobs := testJobs(t, 1)
+	ctx := context.Background()
+	c, out := startCampaign(t, ctx, Options{LongPoll: 50 * time.Millisecond, Logf: t.Logf}, jobs)
+
+	w := &Worker{Coordinator: c.Addr(), Name: "stillborn"}
+	w.Drain()
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("pre-drained worker: %v", err)
+	}
+
+	// The job is untouched; a live worker completes the campaign.
+	live := &Worker{Coordinator: c.Addr(), Name: "live"}
+	if err := live.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if oc := <-out; oc.err != nil || oc.metrics.Failed != 0 {
+		t.Fatalf("campaign: %+v, %v", oc.metrics, oc.err)
+	}
+}

@@ -65,11 +65,51 @@ type Worker struct {
 
 	heldMu sync.Mutex
 	held   map[int]bool
+
+	drainMu  sync.Mutex
+	drainCh  chan struct{}
+	draining bool
 }
 
 // errStale marks handshake failures that retrying cannot fix: version or
 // fingerprint skew between worker and coordinator binaries.
 var errStale = errors.New("dist: worker binary is stale")
+
+// Drain asks the worker to stop gracefully: the job currently executing
+// in each slot finishes and reports, the unstarted remainder of each
+// bundle is handed back via POST /release (so the coordinator re-leases
+// immediately instead of waiting out the TTL), and Run returns nil. Safe
+// to call from any goroutine, any number of times, before or during Run.
+func (w *Worker) Drain() {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	if !w.draining {
+		w.draining = true
+		close(w.drainChLocked())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (w *Worker) Draining() bool {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	return w.draining
+}
+
+// drainChan returns the channel closed by Drain.
+func (w *Worker) drainChan() <-chan struct{} {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	return w.drainChLocked()
+}
+
+// drainChLocked lazily creates the drain channel. Callers hold drainMu.
+func (w *Worker) drainChLocked() chan struct{} {
+	if w.drainCh == nil {
+		w.drainCh = make(chan struct{})
+	}
+	return w.drainCh
+}
 
 // workerSeq disambiguates default worker names within one process.
 var workerSeq uint64
@@ -124,9 +164,22 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer cancel()
 	go w.heartbeatLoop(ctx)
 
+	// leaseCtx dies when Drain fires: it cuts short lease long-polls (and
+	// their retry backoffs) without interrupting job execution, which
+	// keeps running on ctx until the in-flight work is reported.
+	leaseCtx, leaseCancel := context.WithCancel(ctx)
+	defer leaseCancel()
+	go func() {
+		select {
+		case <-w.drainChan():
+			leaseCancel()
+		case <-leaseCtx.Done():
+		}
+	}()
+
 	errc := make(chan error, w.Slots)
 	for s := 0; s < w.Slots; s++ {
-		go func() { errc <- w.slotLoop(ctx) }()
+		go func() { errc <- w.slotLoop(ctx, leaseCtx) }()
 	}
 	var first error
 	for s := 0; s < w.Slots; s++ {
@@ -189,15 +242,19 @@ func verifyProbe(rep joinReply) error {
 }
 
 // slotLoop is one concurrent execution slot: lease a bundle, execute it,
-// repeat until the coordinator says the campaign is done.
-func (w *Worker) slotLoop(ctx context.Context) error {
+// repeat until the coordinator says the campaign is done or the worker
+// drains. Lease polls run on leaseCtx so Drain cuts them short.
+func (w *Worker) slotLoop(ctx, leaseCtx context.Context) error {
 	for ctx.Err() == nil {
+		if w.Draining() {
+			return nil
+		}
 		var rep leaseReply
-		err := w.postRetry(ctx, "/lease",
+		err := w.postRetry(leaseCtx, "/lease",
 			leaseRequest{Worker: w.Name, SetFP: w.setFP,
 				WaitMS: w.LongPoll.Milliseconds(), BundleMS: w.BundleTarget.Milliseconds()}, &rep)
 		if err != nil {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || w.Draining() {
 				return nil
 			}
 			return err
@@ -240,8 +297,16 @@ func (w *Worker) runBundle(ctx context.Context, bundle []leasedJob) error {
 	if len(bundle) > 1 {
 		w.Logf("dist: %s leased a bundle of %d jobs", w.Name, len(bundle))
 	}
-	for _, lj := range bundle {
+	for i, lj := range bundle {
 		if ctx.Err() != nil {
+			return nil
+		}
+		// Draining: hand the unstarted remainder back so it re-leases
+		// immediately (jobs already reported stay done; the job that was
+		// executing when Drain fired has finished by the time we get
+		// here).
+		if w.Draining() {
+			w.releaseRemainder(ctx, idxs[i:])
 			return nil
 		}
 		res := w.execute(ctx, lj.Index, *lj.Job)
@@ -262,6 +327,23 @@ func (w *Worker) runBundle(ctx context.Context, bundle []leasedJob) error {
 		w.Logf("dist: %s finished job %d (%s)", w.Name, lj.Index, lj.Job)
 	}
 	return nil
+}
+
+// releaseRemainder posts the unstarted leases of a draining bundle back
+// to the coordinator — best effort with a short timeout; on failure the
+// coordinator reclaims them at lease-TTL expiry anyway.
+func (w *Worker) releaseRemainder(ctx context.Context, idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	w.dropHeld(idxs)
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := w.post(rctx, "/release", releaseRequest{Worker: w.Name, SetFP: w.setFP, Indexes: idxs}, &struct{}{}); err != nil {
+		w.Logf("dist: %s could not release %d leases (%v); coordinator reclaims them at TTL", w.Name, len(idxs), err)
+		return
+	}
+	w.Logf("dist: %s released %d unstarted leases while draining", w.Name, len(idxs))
 }
 
 // addHeld and dropHeld maintain the lease set the heartbeat loop renews.

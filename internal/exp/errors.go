@@ -38,6 +38,11 @@ const (
 	ClassBudget
 	// ClassPanic marks jobs whose worker recovered a panic.
 	ClassPanic
+	// ClassIntegrity marks payloads whose integrity hash does not match
+	// their content — corruption on disk or in flight, or a sender whose
+	// hashing is broken. Never retried by the receiver against the same
+	// payload; the sender re-executes or re-sends instead.
+	ClassIntegrity
 )
 
 // String names the class for summaries and journal entries.
@@ -57,6 +62,8 @@ func (c Class) String() string {
 		return "budget-exceeded"
 	case ClassPanic:
 		return "panic"
+	case ClassIntegrity:
+		return "integrity"
 	}
 	return fmt.Sprintf("Class(%d)", int(c))
 }
@@ -84,6 +91,10 @@ func Classify(err error) Class {
 	var pe *PanicError
 	if errors.As(err, &pe) {
 		return ClassPanic
+	}
+	var ie *IntegrityError
+	if errors.As(err, &ie) {
+		return ClassIntegrity
 	}
 	if errors.Is(err, ErrBudgetExceeded) {
 		return ClassBudget

@@ -67,7 +67,7 @@ func (w WireResult) Decode() (Result, error) {
 		return r, fmt.Errorf("exp: wire result for job %d has neither run nor error", w.Index)
 	}
 	if got := runSHA(w.Run); got != w.RunSHA {
-		return r, fmt.Errorf("exp: wire result for job %d fails its integrity hash", w.Index)
+		return r, &IntegrityError{Index: w.Index, Want: w.RunSHA, Got: got}
 	}
 	r.Run = w.Run
 	return r, nil
@@ -86,12 +86,30 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return e.Msg }
 
+// IntegrityError is a payload whose content does not hash to its declared
+// integrity hash — corruption on disk or in flight, or a sender computing
+// hashes over different bytes than it shipped. Classifies as
+// ClassIntegrity; a distributed coordinator treats it as a strike against
+// the sending worker's health score.
+type IntegrityError struct {
+	// Index is the job index the payload claimed to answer.
+	Index int
+	// Want is the hash the payload declared; Got is the hash of its
+	// actual content.
+	Want, Got string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("exp: wire result for job %d fails its integrity hash (declared %s, content hashes to %s)",
+		e.Index, e.Want, e.Got)
+}
+
 // ParseClass is the inverse of Class.String. Unknown names parse as
 // ClassPermanent — the conservative reading: never retry what we cannot
 // classify.
 func ParseClass(s string) Class {
 	for _, c := range []Class{ClassOK, ClassTransient, ClassPermanent,
-		ClassCanceled, ClassTimeout, ClassBudget, ClassPanic} {
+		ClassCanceled, ClassTimeout, ClassBudget, ClassPanic, ClassIntegrity} {
 		if c.String() == s {
 			return c
 		}
