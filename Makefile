@@ -2,8 +2,8 @@
 # the concurrency-sensitive packages under the race detector — the
 # experiment engine's determinism tests and the full distributed suite
 # (bundled leases, mid-bundle reassignment, TLS/token auth, quorum voting,
-# chaos fault injection) included, so coordinator/worker locking is
-# exercised under contention on every run.
+# chaos fault injection, fleet supervision) included, so coordinator and
+# worker locking is exercised under contention on every run.
 # `make fuzz` gives the wire codec a short coverage-guided beating.
 
 GO ?= go
@@ -29,7 +29,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/chaos/... \
-		./internal/core/... ./internal/timing/... ./internal/stats/... ./cmd/...
+		./internal/fleet/... ./internal/core/... ./internal/timing/... \
+		./internal/stats/... ./cmd/...
 
 # fuzz runs the journal/distributed-result codec fuzzer for a bounded time
 # (FUZZTIME to taste); CI runs the same thing for 10s on every push.

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeSelfSignedCert mints a loopback server certificate for the
+// validation test — the mutual-TLS refusal fires only after the serve
+// listener loads real cert material.
+func writeSelfSignedCert(t *testing.T, dir string) (certPath, keyPath string) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "ilsim-sweep-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPath = filepath.Join(dir, "coord.pem")
+	keyPath = filepath.Join(dir, "coord.key")
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	if err := os.WriteFile(certPath, certPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, keyPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certPath, keyPath
+}
+
+// TestSweepLocalFleet runs a sweep through -serve -fleet N: the
+// self-supervised in-process fleet must drain the campaign with no
+// external workers, and the result table must match a plain local run
+// byte for byte.
+func TestSweepLocalFleet(t *testing.T) {
+	sweep := []string{"-param", "banks", "-workload", "ArrayBW", "-scale", "1", "-points", "3"}
+
+	var localOut, localErr bytes.Buffer
+	if err := run(append(sweep, "-j", "2"), &localOut, &localErr); err != nil {
+		t.Fatalf("local run: %v\nstderr: %s", err, localErr.String())
+	}
+
+	var serveOut bytes.Buffer
+	serveErr := &syncBuffer{}
+	if err := run(append(sweep, "-serve", "127.0.0.1:0", "-fleet", "2", "-v"), &serveOut, serveErr); err != nil {
+		t.Fatalf("serve -fleet run: %v\nstderr: %s", err, serveErr.String())
+	}
+	if got, want := sweepTable(serveOut.String()), sweepTable(localOut.String()); got != want {
+		t.Errorf("fleet-run table differs from local:\n--- local ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if !strings.Contains(serveErr.String(), "self-supervising up to 2 local workers") {
+		t.Errorf("no fleet banner in stderr:\n%s", serveErr.String())
+	}
+	if !strings.Contains(serveErr.String(), "launched local-1") {
+		t.Errorf("supervisor never launched a local worker:\n%s", serveErr.String())
+	}
+}
+
+// TestSweepFleetValidation: -fleet outside -serve and -fleet against a
+// mutual-TLS coordinator are refused up front.
+func TestSweepFleetValidation(t *testing.T) {
+	var out bytes.Buffer
+	errw := &syncBuffer{}
+	err := run([]string{"-param", "banks", "-points", "1", "-fleet", "2"}, &out, errw)
+	if err == nil || !strings.Contains(err.Error(), "-fleet requires -serve") {
+		t.Errorf("local -fleet: %v", err)
+	}
+
+	dir := t.TempDir()
+	cert, key := writeSelfSignedCert(t, dir)
+	err = run([]string{"-param", "banks", "-points", "1",
+		"-serve", "127.0.0.1:0", "-fleet", "2",
+		"-tls-cert", cert, "-tls-key", key, "-tls-client-ca", cert}, &out, errw)
+	if err == nil || !strings.Contains(err.Error(), "mutual-TLS") {
+		t.Errorf("mutual-TLS -fleet: %v", err)
+	}
+}

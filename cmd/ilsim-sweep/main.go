@@ -18,9 +18,15 @@
 // endpoints optionally require TLS (-tls-cert/-tls-key), client
 // certificates (-tls-client-ca, mutual TLS) and a shared token (-token),
 // and -watch prints a status snapshot — queue depth, per-worker
-// throughput, health/quarantine state and the WantWorkers autoscaling
-// hint — from a running coordinator (one-shot, or redrawn continuously
-// with -interval).
+// throughput, health/quarantine state, fleet labels and the WantWorkers
+// autoscaling hint — from a running coordinator (one-shot, or redrawn
+// continuously with -interval, where a sparkline tracks recent fleet
+// throughput). -allow-cn pins the client-certificate CommonNames a
+// mutual-TLS coordinator admits; anything else is refused with 403 and
+// counted in the status. -fleet N self-supervises a local in-process
+// worker fleet that grows and shrinks with the coordinator's autoscaling
+// hint — the one-process taste of what ilsim-fleetd does with real
+// worker processes.
 //
 // Untrusted fleets replicate: -replicas K leases every job to K distinct
 // workers and accepts only the majority result (votes are stats.Run
@@ -41,6 +47,7 @@
 //	ilsim-sweep -param banks -serve :9666         # coordinate remote workers
 //	ilsim-sweep -param banks -serve :9666 -bundle 5s -token s3cret
 //	ilsim-sweep -param banks -serve :9666 -replicas 3   # quorum over untrusted workers
+//	ilsim-sweep -param banks -serve :9666 -fleet 4      # self-supervised local fleet
 //	ilsim-sweep -connect host:9666 -j 4           # execute leases from a coordinator
 //	ilsim-sweep -watch host:9666                  # one-shot campaign status
 //	ilsim-sweep -watch host:9666 -interval 2s     # live status board
@@ -61,6 +68,7 @@ import (
 	"ilsim/internal/core"
 	"ilsim/internal/dist"
 	"ilsim/internal/exp"
+	"ilsim/internal/fleet"
 	"ilsim/internal/prof"
 )
 
@@ -94,6 +102,9 @@ func run(args []string, out, errw io.Writer) error {
 	watch := fs.String("watch", "", "print a status snapshot (autoscaling and health included) from the coordinator at this address, then exit")
 	interval := fs.Duration("interval", 0, "with -watch: redraw the status continuously at this period instead of one snapshot")
 	replicas := fs.Int("replicas", 1, "with -serve: lease every job to this many distinct workers and accept the majority result (quorum over untrusted workers)")
+	fleetN := fs.Int("fleet", 0, "with -serve: self-supervise an in-process fleet of up to N single-slot workers that tracks the autoscaling hint (0 = off)")
+	allowCN := fs.String("allow-cn", "", "with -serve: comma-separated client-certificate CommonNames admitted past mutual TLS (needs -tls-client-ca); others get 403")
+	scaleHorizon := fs.Duration("scale-horizon", 0, "with -serve: drain window the WantWorkers autoscaling hint aims for (0 = default 1m)")
 	compact := fs.Bool("journal-compact", false, "rewrite -journal in place keeping only the latest entry per job (drops superseded entries and vote records), then exit")
 	bundle := fs.Duration("bundle", dist.DefaultBundleTarget, "target work per lease: bundles are sized to this much estimated runtime (with -serve; 0 disables bundling). With -connect, caps this worker's bundles")
 	token := fs.String("token", "", "shared auth token: required of workers with -serve, sent to the coordinator with -connect/-watch")
@@ -217,14 +228,24 @@ func run(args []string, out, errw io.Writer) error {
 		if bundleTarget <= 0 {
 			bundleTarget = -1 // 0 on the flag means "no bundling", not "default"
 		}
+		var allowedCNs []string
+		if *allowCN != "" {
+			for _, cn := range strings.Split(*allowCN, ",") {
+				if cn = strings.TrimSpace(cn); cn != "" {
+					allowedCNs = append(allowedCNs, cn)
+				}
+			}
+		}
 		c := dist.NewCoordinator(dist.Options{
 			Addr:         *serve,
 			BundleTarget: bundleTarget,
+			ScaleHorizon: *scaleHorizon,
 			Replicas:     *replicas,
 			AuthToken:    *token,
 			TLSCert:      *tlsCert,
 			TLSKey:       *tlsKey,
 			TLSClientCA:  *tlsClientCA,
+			AllowedCNs:   allowedCNs,
 			Journal:      journal,
 			OnProgress:   onProgress,
 			Logf:         func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) },
@@ -236,8 +257,18 @@ func run(args []string, out, errw io.Writer) error {
 		defer c.Close()
 		fmt.Fprintf(errw, "coordinating %d jobs on %s — attach workers with: ilsim-workerd -connect %s\n",
 			len(jobs), c.Addr(), c.Addr())
+		if *fleetN > 0 {
+			wait, err := startLocalFleet(c.Addr(), *fleetN, *retries, *token, *tlsCert != "", *tlsClientCA != "", *verbose, errw)
+			if err != nil {
+				return err
+			}
+			defer wait()
+		}
 		runner = c
 	} else {
+		if *fleetN > 0 {
+			return errors.New("-fleet requires -serve (it supervises workers for a coordinator)")
+		}
 		eng := exp.New(*workers)
 		if *failFast {
 			eng.Mode = exp.FailFast
@@ -287,12 +318,75 @@ func run(args []string, out, errw io.Writer) error {
 	return nil
 }
 
+// startLocalFleet runs a fleet.Supervisor with in-process workers
+// against the coordinator at addr — the -fleet N convenience. The
+// returned wait function blocks until the supervisor winds down after
+// the campaign (bounded; stragglers are killed), so the process never
+// exits with workers mid-flight.
+func startLocalFleet(addr string, n, retries int, token string, tlsServe, mutualTLS, verbose bool, errw io.Writer) (wait func(), err error) {
+	if mutualTLS {
+		// Embedded workers have no client certificates to present; a
+		// mutual-TLS coordinator would refuse every one of them.
+		return nil, errors.New("-fleet cannot serve a mutual-TLS coordinator (-tls-client-ca); run ilsim-fleetd with worker certificates instead")
+	}
+	client := dist.ClientOptions{AuthToken: token}
+	if tlsServe {
+		// Dialing our own in-process listener: encrypted, and trust is
+		// moot — it is this very process.
+		client.TLSSkipVerify = true
+	}
+	var logf func(format string, args ...any)
+	if verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(errw, format+"\n", a...) }
+	}
+	sup := &fleet.Supervisor{
+		Coordinator: addr,
+		Client:      client,
+		Fleet:       "local",
+		Launcher: &fleet.LocalLauncher{
+			Client: client,
+			Slots:  1,
+			NewEngine: func() *exp.Engine {
+				eng := exp.New(1)
+				eng.Retry = exp.RetryPolicy{MaxRetries: retries}
+				return eng
+			},
+			Logf: logf,
+		},
+		// Snappier than the daemon's defaults: a self-supervised local
+		// fleet answers to a human watching one terminal.
+		Policy:     fleet.Policy{Min: 1, Max: n, UpCooldown: time.Second, DownCooldown: 5 * time.Second},
+		Poll:       500 * time.Millisecond,
+		DrainGrace: 10 * time.Second,
+		Logf:       logf,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(ctx) }()
+	fmt.Fprintf(errw, "fleet: self-supervising up to %d local workers\n", n)
+	wait = func() {
+		defer cancel()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintf(errw, "fleet: %v\n", err)
+			}
+		case <-time.After(30 * time.Second):
+			cancel()
+			<-done
+		}
+	}
+	return wait, nil
+}
+
 // watchStatus renders coordinator status to out: one snapshot when
 // interval is zero, otherwise a continuously redrawn board — clearing
 // the screen between frames when out is a TTY, plain appended frames
-// otherwise (pipes, logs). The loop survives transient fetch errors
-// (coordinator restarting, campaign not yet installed) and exits once
-// the campaign reports finished.
+// otherwise (pipes, logs). The retry/give-up policy is the shared
+// dist.StatusTracker: startup noise is tolerated, rejected credentials
+// abort immediately, and a coordinator that stays gone after first
+// contact ends the watch. Each live frame appends a sparkline of the
+// fleet's recent throughput from a client-side ring of samples.
 func watchStatus(addr string, co dist.ClientOptions, interval time.Duration, out io.Writer) error {
 	ctx := context.Background()
 	if interval <= 0 {
@@ -304,34 +398,91 @@ func watchStatus(addr string, co dist.ClientOptions, interval time.Duration, out
 		return nil
 	}
 	clearScreen := isTTY(out)
-	connected := false
-	misses := 0
+	var tracker dist.StatusTracker
+	spark := &sparkline{}
 	for {
 		st, err := dist.FetchStatus(ctx, addr, co)
+		if terr := tracker.Observe(err); terr != nil {
+			return fmt.Errorf("watch %s: %w", addr, terr)
+		}
 		if err != nil {
-			// Before the first success any error is startup noise (the
-			// status endpoint answers 503 until the campaign installs).
-			// After it, a few misses are a network blip — but a coordinator
-			// that stays gone means the campaign is over or crashed, and
-			// spinning on it forever helps nobody.
-			if connected {
-				if misses++; misses >= 5 {
-					return fmt.Errorf("watch %s: coordinator unreachable: %w", addr, err)
-				}
-			}
 			fmt.Fprintf(out, "watch %s: %v\n", addr, err)
 		} else {
-			connected, misses = true, 0
+			spark.observe(st, time.Now())
 			if clearScreen {
 				fmt.Fprint(out, "\x1b[H\x1b[2J")
 			}
 			fmt.Fprint(out, st.Table())
+			if line := spark.line(); line != "" {
+				fmt.Fprintln(out, line)
+			}
 			if st.Finished {
 				return nil
 			}
 		}
 		time.Sleep(interval)
 	}
+}
+
+// sparkRunes are the eight-level bar glyphs, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparklineWindow is how many recent samples the throughput sparkline
+// keeps — one screen-width's worth of history at typical intervals.
+const sparklineWindow = 32
+
+// sparkline folds successive Status samples into an observed-throughput
+// history: each pair of samples yields (done delta)/(time delta), the
+// fleet's actual completion rate over that interval — measured, not the
+// per-worker EWMA estimates the coordinator publishes.
+type sparkline struct {
+	rates    []float64
+	lastDone int
+	lastAt   time.Time
+	primed   bool
+}
+
+// observe folds one status sample in.
+func (s *sparkline) observe(st dist.Status, now time.Time) {
+	if s.primed {
+		if dt := now.Sub(s.lastAt).Seconds(); dt > 0 {
+			rate := float64(st.Done-s.lastDone) / dt
+			if rate < 0 {
+				rate = 0
+			}
+			s.rates = append(s.rates, rate)
+			if len(s.rates) > sparklineWindow {
+				s.rates = s.rates[len(s.rates)-sparklineWindow:]
+			}
+		}
+	}
+	s.primed, s.lastDone, s.lastAt = true, st.Done, now
+}
+
+// line renders the history, or "" before two samples exist.
+func (s *sparkline) line() string {
+	if len(s.rates) == 0 {
+		return ""
+	}
+	peak := 0.0
+	for _, r := range s.rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	var b strings.Builder
+	b.WriteString("dist: throughput ")
+	for _, r := range s.rates {
+		lvl := 0
+		if peak > 0 {
+			if lvl = int(r / peak * float64(len(sparkRunes)-1)); lvl >= len(sparkRunes) {
+				lvl = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[lvl])
+	}
+	fmt.Fprintf(&b, " %.2f jobs/s (peak %.2f)", s.rates[len(s.rates)-1], peak)
+	return b.String()
 }
 
 // isTTY reports whether w is a character device (an interactive

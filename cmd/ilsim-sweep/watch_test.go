@@ -191,3 +191,38 @@ func TestSweepWatchExclusive(t *testing.T) {
 		}
 	}
 }
+
+// TestSparkline pins the throughput ring's math and rendering: the first
+// sample only primes, each later sample contributes (done delta)/(time
+// delta), bars scale to the window's peak, the latest and peak rates are
+// printed, and the ring never outgrows its window.
+func TestSparkline(t *testing.T) {
+	var s sparkline
+	t0 := time.Unix(100, 0)
+	if s.observe(dist.Status{Done: 0}, t0); s.line() != "" {
+		t.Fatalf("sparkline rendered before two samples: %q", s.line())
+	}
+	s.observe(dist.Status{Done: 4}, t0.Add(time.Second))   // 4 jobs/s
+	s.observe(dist.Status{Done: 6}, t0.Add(2*time.Second)) // 2 jobs/s
+	s.observe(dist.Status{Done: 6}, t0.Add(3*time.Second)) // idle
+	got := s.line()
+	want := "dist: throughput █▄▁ 0.00 jobs/s (peak 4.00)"
+	if got != want {
+		t.Errorf("sparkline = %q, want %q", got, want)
+	}
+
+	// A resumed campaign can report a lower Done than the last sample;
+	// the rate clamps at zero instead of going negative.
+	s.observe(dist.Status{Done: 2}, t0.Add(4*time.Second))
+	if !strings.HasSuffix(s.line(), "0.00 jobs/s (peak 4.00)") {
+		t.Errorf("negative delta not clamped: %q", s.line())
+	}
+
+	// The ring is bounded by the window.
+	for i := 0; i < 3*sparklineWindow; i++ {
+		s.observe(dist.Status{Done: 10 + i}, t0.Add(time.Duration(5+i)*time.Second))
+	}
+	if len(s.rates) != sparklineWindow {
+		t.Errorf("ring grew to %d samples, window is %d", len(s.rates), sparklineWindow)
+	}
+}

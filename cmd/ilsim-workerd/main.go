@@ -18,7 +18,10 @@
 // worker's client certificate to a mutual-TLS coordinator. -status-poll
 // logs the coordinator's campaign status — queue depth, fleet throughput,
 // the WantWorkers autoscaling hint — at a fixed interval, giving
-// supervisor scripts a scrapeable scaling signal.
+// supervisor scripts a scrapeable scaling signal. -fleet labels the
+// worker as supervisor-managed (ilsim-fleetd sets it on the workers it
+// launches); the label shows up in the coordinator's status table and
+// steers scale-down victim selection.
 //
 // The first SIGINT/SIGTERM drains gracefully: in-flight jobs finish and
 // report, the unstarted remainder of the current bundle is released back
@@ -77,6 +80,7 @@ func run(args []string, out, errw io.Writer) error {
 	fs.SetOutput(errw)
 	connect := fs.String("connect", "", "coordinator address (host:port; required)")
 	name := fs.String("name", "", "worker name in leases and logs (default hostname-pid)")
+	fleetLabel := fs.String("fleet", "", "fleet label announced at join (set by ilsim-fleetd; empty = hand-launched)")
 	slots := fs.Int("j", 0, "concurrent execution slots (0 = GOMAXPROCS)")
 	retries := fs.Int("retries", 0, "local retries per transiently failing job")
 	window := fs.Duration("window", 2*time.Minute, "how long to retry an unreachable coordinator before giving up")
@@ -134,6 +138,7 @@ func run(args []string, out, errw io.Writer) error {
 	w := &dist.Worker{
 		Coordinator:  *connect,
 		Name:         *name,
+		Fleet:        *fleetLabel,
 		Slots:        *slots,
 		Engine:       eng,
 		BundleTarget: *bundle,

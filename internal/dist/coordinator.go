@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ilsim/internal/exp"
@@ -62,6 +63,13 @@ type Options struct {
 	// on every endpoint (status and pprof included), compared in constant
 	// time. Wrong or missing tokens get 401.
 	AuthToken string
+	// AllowedCNs, when non-empty, pins the set of client-certificate
+	// CommonNames admitted past mutual TLS: every request must arrive
+	// with a verified client certificate whose CN is in this set, or it
+	// is refused with 403, logged, and counted in Status.RejectedCNs.
+	// Requires TLSClientCA — an ACL over unverified names would pin
+	// nothing.
+	AllowedCNs []string
 	// Journal, when non-nil, persists every accepted result before it is
 	// acknowledged, exactly as a local engine would — the same file
 	// resumes the campaign across coordinator restarts.
@@ -88,6 +96,11 @@ type Coordinator struct {
 	ln      net.Listener
 	srv     *http.Server
 	handler http.Handler
+
+	// rejectedCNs counts requests refused by the AllowedCNs ACL; it lives
+	// on the coordinator, not the campaign, so refusals before a campaign
+	// installs still count.
+	rejectedCNs atomic.Int64
 
 	mu   sync.Mutex
 	camp *campaign
@@ -135,12 +148,41 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /result", c.handleResult)
 	mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /release", c.handleRelease)
+	mux.HandleFunc("POST /drain", c.handleDrain)
 	mux.HandleFunc("GET /status", c.handleStatus)
 	if c.opts.DebugPprof {
 		registerPprof(mux)
 	}
-	c.handler = c.requireAuth(mux)
+	c.handler = c.requireAuth(c.requireCN(mux))
 	return c.handler
+}
+
+// requireCN wraps h with the certificate ACL. With no AllowedCNs the
+// handler passes through untouched; with some, every request must carry a
+// verified client certificate (mutual TLS did the verifying) whose CN is
+// in the allowed set — anything else is 403, logged and counted.
+func (c *Coordinator) requireCN(h http.Handler) http.Handler {
+	if len(c.opts.AllowedCNs) == 0 {
+		return h
+	}
+	allowed := make(map[string]bool, len(c.opts.AllowedCNs))
+	for _, cn := range c.opts.AllowedCNs {
+		allowed[cn] = true
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cn := ""
+		if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+			cn = r.TLS.PeerCertificates[0].Subject.CommonName
+		}
+		if !allowed[cn] {
+			c.rejectedCNs.Add(1)
+			c.opts.Logf("dist: refused %s %s from %s: client certificate CN %q not in the allowed set",
+				r.Method, r.URL.Path, r.RemoteAddr, cn)
+			httpError(w, http.StatusForbidden, "dist: client certificate CN %q is not allowed here", cn)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // requireAuth wraps h with the shared-token check. With no AuthToken the
@@ -176,6 +218,10 @@ func (c *Coordinator) Start() error {
 	if c.opts.TLSClientCA != "" && (c.opts.TLSCert == "" || c.opts.TLSKey == "") {
 		ln.Close()
 		return fmt.Errorf("dist: -tls-client-ca requires a server certificate (TLSCert/TLSKey)")
+	}
+	if len(c.opts.AllowedCNs) > 0 && c.opts.TLSClientCA == "" {
+		ln.Close()
+		return fmt.Errorf("dist: -allow-cn requires mutual TLS (-tls-client-ca): without verified client certificates the ACL pins nothing")
 	}
 	if c.opts.TLSCert != "" || c.opts.TLSKey != "" {
 		cert, err := tls.LoadX509KeyPair(c.opts.TLSCert, c.opts.TLSKey)
@@ -313,8 +359,10 @@ func (c *Coordinator) linger(ctx context.Context, cp *campaign) {
 		now := time.Now()
 		cp.mu.Lock()
 		allAcked := true
-		for _, ws := range cp.workers {
-			if now.Sub(ws.seen) > cp.leaseTTL {
+		for name, ws := range cp.workers {
+			if now.Sub(ws.seen) > cp.leaseTTL || cp.drains[name] {
+				// Dead workers are not waited for; neither are draining
+				// ones — they stop polling once their in-flight work lands.
 				continue
 			}
 			if ws.acked < ws.slots {
@@ -375,6 +423,9 @@ type workerState struct {
 	// cn is the CommonName of the worker's client certificate under
 	// mutual TLS.
 	cn string
+	// fleet is the supervisor label the worker announced at join; empty
+	// for hand-launched workers.
+	fleet string
 	// Health ledger: score decays exponentially from scoreAt; a non-zero
 	// quarantinedUntil in the future means leases are refused. The
 	// counters feed WorkerStatus.
@@ -400,6 +451,10 @@ type campaign struct {
 	state   []jobState
 	leases  map[int]map[string]time.Time
 	workers map[string]*workerState
+	// drains marks workers asked to retire: their next lease poll or
+	// heartbeat carries the drain flag, and the post-completion linger
+	// does not wait for them. A worker that posts /release marks itself.
+	drains map[string]bool
 
 	// replicas is the quorum width; health the ledger policy.
 	replicas int
@@ -474,6 +529,7 @@ func newCampaign(jobs []exp.Job, opts Options) *campaign {
 		grants:       make([]int, len(jobs)),
 		leases:       make(map[int]map[string]time.Time),
 		workers:      make(map[string]*workerState),
+		drains:       make(map[string]bool),
 		replicas:     replicas,
 		health:       health,
 		votes:        make([]map[string]string, len(jobs)),
@@ -654,8 +710,9 @@ func (cp *campaign) takeLocked(worker string, now time.Time, max int) []int {
 }
 
 // heartbeat extends the deadlines of held leases (only those the worker
-// actually owns) and refreshes the worker's last-seen time.
-func (cp *campaign) heartbeat(worker string, held []int, now time.Time) {
+// actually owns), refreshes the worker's last-seen time, and reports
+// whether the worker has been asked to drain.
+func (cp *campaign) heartbeat(worker string, held []int, now time.Time) (drain bool) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	cp.workerLocked(worker).seen = now
@@ -669,6 +726,21 @@ func (cp *campaign) heartbeat(worker string, held []int, now time.Time) {
 			}
 		}
 	}
+	return cp.drains[worker]
+}
+
+// drain marks a worker for retirement; its next lease poll or heartbeat
+// learns about it. The long-pollers are woken so an idle worker drains
+// immediately rather than at the end of its poll window.
+func (cp *campaign) drain(worker string) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.drains[worker] {
+		return
+	}
+	cp.drains[worker] = true
+	cp.logf("dist: drain requested for worker %s", worker)
+	cp.broadcastLocked()
 }
 
 // release returns one worker's lease on a job to the pending pool (the
@@ -928,15 +1000,21 @@ func (cp *campaign) statusLocked(now time.Time) Status {
 	}
 	for name, ws := range cp.workers {
 		quarantined := cp.quarantinedLocked(name, now)
+		draining := cp.drains[name]
+		if draining {
+			s.Draining++
+		}
 		if quarantined {
 			s.Quarantined++
-		} else if now.Sub(ws.seen) <= cp.leaseTTL {
+		} else if now.Sub(ws.seen) <= cp.leaseTTL && !draining {
 			s.Slots += ws.slots
 		}
 		row := WorkerStatus{
 			Name: name, Slots: ws.slots, Held: held[name],
 			Done: ws.done, EWMAMS: ws.ewma.Milliseconds(),
 			CN:          ws.cn,
+			Fleet:       ws.fleet,
+			Draining:    draining,
 			Score:       cp.scoreLocked(ws, now),
 			Quarantined: quarantined,
 			Dissents:    ws.dissents,
@@ -1044,6 +1122,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	ws.seen = time.Now()
 	ws.slots = slots
 	ws.cn = cn
+	ws.fleet = req.Fleet
 	nWorkers := len(cp.workers)
 	cp.mu.Unlock()
 	if cn != "" {
@@ -1100,6 +1179,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		cp.reclaimLocked(now)
 		cp.workerLocked(req.Worker).seen = now
+		if cp.drains[req.Worker] {
+			cp.mu.Unlock()
+			reply(w, leaseReply{Drain: true})
+			return
+		}
 		// A quarantined worker stays in the long-poll loop (so it learns
 		// promptly when the campaign finishes, or when its probation
 		// ends) but is never granted a lease.
@@ -1199,6 +1283,31 @@ func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if len(req.Indexes) > 0 {
 		cp.logf("dist: worker %s released %d leases", req.Worker, len(req.Indexes))
 	}
+	// Handing leases back without results is a worker's goodbye — mark it
+	// draining so status reflects it and the linger does not wait for it.
+	cp.mu.Lock()
+	cp.drains[req.Worker] = true
+	cp.mu.Unlock()
+	reply(w, struct{}{})
+}
+
+// handleDrain marks a worker for retirement on a supervisor's behalf: the
+// worker's next lease poll or heartbeat carries the drain flag.
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req drainRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "dist: drain without a worker name")
+		return
+	}
+	cp := c.campaignFor()
+	if cp == nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", errNoCampaign)
+		return
+	}
+	cp.drain(req.Worker)
 	reply(w, struct{}{})
 }
 
@@ -1211,8 +1320,8 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if cp == nil {
 		return
 	}
-	cp.heartbeat(req.Worker, req.Held, time.Now())
-	reply(w, struct{}{})
+	drain := cp.heartbeat(req.Worker, req.Held, time.Now())
+	reply(w, heartbeatReply{Drain: drain})
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -1224,5 +1333,6 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	cp.mu.Lock()
 	s := cp.statusLocked(time.Now())
 	cp.mu.Unlock()
+	s.RejectedCNs = c.rejectedCNs.Load()
 	reply(w, s)
 }

@@ -15,13 +15,14 @@
 // progress survives worker death — lease expiry reassigns only the
 // un-acked remainder of a bundle, never work already reported.
 //
-// The protocol is six JSON-over-HTTP endpoints:
+// The protocol is seven JSON-over-HTTP endpoints:
 //
 //	POST /join       version + probe-fingerprint handshake; stale binaries refused
 //	POST /lease      long-poll for a bundle of jobs (index, job, fingerprint each)
 //	POST /result     stream back one exp.WireResult (integrity-hashed)
 //	POST /heartbeat  keep held leases alive
 //	POST /release    hand unstarted leases back (graceful drain)
+//	POST /drain      ask the coordinator to retire one worker (fleet scale-down)
 //	GET  /status     campaign counters plus autoscaling + health
 //
 // Workers are not trusted. Every result is integrity-hash checked at
@@ -63,8 +64,10 @@ import (
 // History: 1 = single-job leases; 2 = bundled leases (leaseReply.Jobs),
 // bundle targets in leaseRequest, autoscaling fields in Status; 3 =
 // POST /release (graceful drain), quorum re-execution (multi-worker
-// leases per job), health/quarantine fields in Status.
-const ProtocolVersion = 3
+// leases per job), health/quarantine fields in Status; 4 = fleet labels
+// in the join handshake and Status, coordinator-mediated drain (POST
+// /drain, drain flags on lease and heartbeat replies).
+const ProtocolVersion = 4
 
 // Defaults for the lease lifecycle. LeaseTTL bounds how long a silent
 // worker keeps a bundle before its un-acked jobs are reassigned; workers
@@ -93,6 +96,11 @@ type joinRequest struct {
 	Version int    `json:"version"`
 	Worker  string `json:"worker"`
 	Slots   int    `json:"slots"`
+	// Fleet names the supervisor managing this worker (ilsim-fleetd's
+	// -fleet label); empty for hand-launched workers. Recorded in
+	// WorkerStatus so operators — and scale-down victim selection — can
+	// tell supervised capacity from manual capacity.
+	Fleet string `json:"fleet,omitempty"`
 }
 
 // joinReply fixes the campaign identity for the session. Probe is one job
@@ -128,11 +136,14 @@ type leasedJob struct {
 }
 
 // leaseReply grants a bundle of jobs, asks the worker to poll again
-// (Wait), or ends the session (Done — the campaign is complete).
+// (Wait), ends the session (Done — the campaign is complete), or tells
+// the worker to drain (Drain — a supervisor asked the coordinator to
+// retire it; finish in-flight work, release the rest, exit cleanly).
 type leaseReply struct {
-	Done bool        `json:"done,omitempty"`
-	Wait bool        `json:"wait,omitempty"`
-	Jobs []leasedJob `json:"jobs,omitempty"`
+	Done  bool        `json:"done,omitempty"`
+	Wait  bool        `json:"wait,omitempty"`
+	Drain bool        `json:"drain,omitempty"`
+	Jobs  []leasedJob `json:"jobs,omitempty"`
 }
 
 // resultRequest streams one finished job back. Bundles report job by job,
@@ -148,6 +159,22 @@ type heartbeatRequest struct {
 	Worker string `json:"worker"`
 	SetFP  string `json:"setFp"`
 	Held   []int  `json:"held"`
+}
+
+// heartbeatReply piggybacks the drain flag on the renewal: a worker deep
+// in a long bundle learns it is being retired within one heartbeat period
+// instead of at its next lease poll.
+type heartbeatReply struct {
+	Drain bool `json:"drain,omitempty"`
+}
+
+// drainRequest asks the coordinator to retire one worker (POST /drain):
+// the worker's next lease poll or heartbeat carries the drain flag, it
+// finishes in-flight work, hands unstarted leases back via /release, and
+// exits its run loop — the loss-free scale-down contract ilsim-fleetd's
+// supervisor relies on.
+type drainRequest struct {
+	Worker string `json:"worker"`
 }
 
 // releaseRequest hands leases back without results — a draining worker's
@@ -178,6 +205,13 @@ type WorkerStatus struct {
 	// CN is the CommonName of the worker's client certificate when the
 	// coordinator runs mutual TLS; empty otherwise.
 	CN string `json:"cn,omitempty"`
+	// Fleet is the supervisor label the worker announced at join; empty
+	// for hand-launched (manual) workers.
+	Fleet string `json:"fleet,omitempty"`
+	// Draining reports that the worker has been asked to retire — by a
+	// supervisor via POST /drain, or by handing leases back itself — and
+	// will take no further leases.
+	Draining bool `json:"draining,omitempty"`
 	// Score is the worker's current health-ledger score (decayed);
 	// Quarantined reports whether it is currently refused leases.
 	Score       float64 `json:"score,omitempty"`
@@ -225,6 +259,12 @@ type Status struct {
 	// Quarantined counts workers currently refused leases.
 	Replicas    int `json:"replicas,omitempty"`
 	Quarantined int `json:"quarantined,omitempty"`
+	// Draining counts workers currently being retired (drain requested,
+	// not yet gone); their slots are excluded from Slots.
+	Draining int `json:"draining,omitempty"`
+	// RejectedCNs counts requests refused by the certificate ACL
+	// (Options.AllowedCNs) since the coordinator started.
+	RejectedCNs int64 `json:"rejectedCNs,omitempty"`
 	// PerWorker is one row per worker ever seen, in coordinator map order
 	// (sort before displaying).
 	PerWorker []WorkerStatus `json:"perWorker,omitempty"`
@@ -246,6 +286,12 @@ func (s Status) Summary() string {
 	}
 	if s.Quarantined > 0 {
 		line += fmt.Sprintf(", %d quarantined", s.Quarantined)
+	}
+	if s.Draining > 0 {
+		line += fmt.Sprintf(", %d draining", s.Draining)
+	}
+	if s.RejectedCNs > 0 {
+		line += fmt.Sprintf(", %d CN-rejected", s.RejectedCNs)
 	}
 	if s.Finished {
 		line += ", finished"
@@ -269,9 +315,16 @@ func (s Status) Table() string {
 		if ws.CN != "" && ws.CN != ws.Name {
 			name += " (" + ws.CN + ")"
 		}
-		fmt.Fprintf(&b, "  %-24s slots %-3d held %-3d done %-4d ewma %-8s %.2f jobs/s",
-			name, ws.Slots, ws.Held, ws.Done,
+		fleet := ws.Fleet
+		if fleet == "" {
+			fleet = "manual"
+		}
+		fmt.Fprintf(&b, "  %-24s %-10s slots %-3d held %-3d done %-4d ewma %-8s %.2f jobs/s",
+			name, fleet, ws.Slots, ws.Held, ws.Done,
 			(time.Duration(ws.EWMAMS) * time.Millisecond).Round(time.Millisecond), ws.Throughput)
+		if ws.Draining {
+			b.WriteString("  DRAINING")
+		}
 		if ws.Quarantined {
 			fmt.Fprintf(&b, "  QUARANTINED (score %.1f, %d dissents, %d integrity, %d expiries)",
 				ws.Score, ws.Dissents, ws.Integrity, ws.Expiries)

@@ -34,6 +34,10 @@ type Worker struct {
 	// Name identifies this worker in leases and logs; defaults to
 	// hostname-pid.
 	Name string
+	// Fleet names the supervisor managing this worker (empty for
+	// hand-launched workers); announced at join and shown in the
+	// coordinator's status table.
+	Fleet string
 	// Slots is the number of bundles leased and executed concurrently
 	// (default 1).
 	Slots int
@@ -199,7 +203,7 @@ func (w *Worker) join(ctx context.Context) error {
 	backoff := 250 * time.Millisecond
 	for {
 		var rep joinReply
-		err := w.post(ctx, "/join", joinRequest{Version: ProtocolVersion, Worker: w.Name, Slots: w.Slots}, &rep)
+		err := w.post(ctx, "/join", joinRequest{Version: ProtocolVersion, Worker: w.Name, Slots: w.Slots, Fleet: w.Fleet}, &rep)
 		switch {
 		case err == nil:
 			if err := verifyProbe(rep); err != nil {
@@ -260,6 +264,14 @@ func (w *Worker) slotLoop(ctx, leaseCtx context.Context) error {
 			return err
 		}
 		if rep.Done {
+			return nil
+		}
+		if rep.Drain {
+			// The coordinator is retiring this worker on a supervisor's
+			// behalf: same exit as a local Drain call. Other slots learn
+			// via Draining() at their next poll or bundle boundary.
+			w.Logf("dist: %s asked to drain by the coordinator", w.Name)
+			w.Drain()
 			return nil
 		}
 		if rep.Wait || len(rep.Jobs) == 0 {
@@ -396,7 +408,17 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			}
 			w.heldMu.Unlock()
 			// Best effort: a missed heartbeat only narrows the lease.
-			_ = w.post(ctx, "/heartbeat", heartbeatRequest{Worker: w.Name, SetFP: w.setFP, Held: held}, &struct{}{})
+			var rep heartbeatReply
+			if err := w.post(ctx, "/heartbeat", heartbeatRequest{Worker: w.Name, SetFP: w.setFP, Held: held}, &rep); err != nil {
+				continue
+			}
+			if rep.Drain && !w.Draining() {
+				// Retirement reaches a worker deep in a long bundle here,
+				// one heartbeat period after the supervisor asked: the job
+				// executing finishes, the rest of the bundle is released.
+				w.Logf("dist: %s asked to drain by the coordinator (via heartbeat)", w.Name)
+				w.Drain()
+			}
 		}
 	}
 }
@@ -412,8 +434,9 @@ func (e *httpStatusError) Error() string {
 }
 
 // isFatal reports errors retrying cannot fix: handshake conflicts (409),
-// rejected credentials (401), and malformed requests (400) — the
-// stale-binary, wrong-token and programming-bug classes.
+// rejected credentials (401), certificate-ACL refusals (403), and
+// malformed requests (400) — the stale-binary, wrong-token, pinned-CN and
+// programming-bug classes.
 func isFatal(err error) bool {
 	if errors.Is(err, errStale) {
 		return true
@@ -421,7 +444,7 @@ func isFatal(err error) bool {
 	var he *httpStatusError
 	if errors.As(err, &he) {
 		return he.code == http.StatusConflict || he.code == http.StatusBadRequest ||
-			he.code == http.StatusUnauthorized
+			he.code == http.StatusUnauthorized || he.code == http.StatusForbidden
 	}
 	return false
 }

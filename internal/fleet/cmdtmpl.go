@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"syscall"
+	"text/template"
+	"time"
+)
+
+// CmdTemplateLauncher runs replicas through user-supplied shell command
+// templates — the escape hatch for fleets the supervisor cannot fork
+// directly: ssh to another host, a cloud CLI, kubectl. Templates are
+// text/template over the Spec fields:
+//
+//	launch:    ssh {{.Name}}.lab 'ilsim-workerd -connect {{.Coordinator}} -name {{.Name}} -fleet {{.Fleet}}'
+//	terminate: ssh {{.Name}}.lab 'pkill -TERM -f "ilsim-workerd.*-name {{.Name}}"'
+//
+// The launch command must stay in the foreground for the replica's
+// lifetime: the supervisor treats its exit as the replica's exit (ssh
+// without -f does this naturally). The optional terminate template is
+// the graceful Stop path; without one, Stop falls back to SIGTERM on the
+// launch command itself, which reaches a remote worker only if the
+// transport forwards it.
+type CmdTemplateLauncher struct {
+	launch    *template.Template
+	terminate *template.Template
+	// Shell interprets the rendered command (default /bin/sh).
+	Shell string
+	// Stdout and Stderr receive the launch command's output; nil
+	// discards.
+	Stdout, Stderr io.Writer
+	// TerminateTimeout bounds each terminate command run (default 30s).
+	TerminateTimeout time.Duration
+	// Logf, when non-nil, receives terminate-command failures.
+	Logf func(format string, args ...any)
+}
+
+// NewCmdTemplateLauncher parses the launch and terminate templates;
+// terminate may be empty.
+func NewCmdTemplateLauncher(launch, terminate string) (*CmdTemplateLauncher, error) {
+	if strings.TrimSpace(launch) == "" {
+		return nil, fmt.Errorf("fleet: launch template is empty")
+	}
+	lt, err := template.New("launch").Parse(launch)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: parse launch template: %w", err)
+	}
+	l := &CmdTemplateLauncher{launch: lt}
+	if strings.TrimSpace(terminate) != "" {
+		tt, err := template.New("terminate").Parse(terminate)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: parse terminate template: %w", err)
+		}
+		l.terminate = tt
+	}
+	return l, nil
+}
+
+// render executes a template over the spec.
+func render(t *template.Template, spec Spec) (string, error) {
+	var b strings.Builder
+	if err := t.Execute(&b, spec); err != nil {
+		return "", fmt.Errorf("fleet: render %s template for %s: %w", t.Name(), spec.Name, err)
+	}
+	return b.String(), nil
+}
+
+// Launch renders and starts the launch command in its own process group.
+func (l *CmdTemplateLauncher) Launch(ctx context.Context, spec Spec) (Instance, error) {
+	cmdline, err := render(l.launch, spec)
+	if err != nil {
+		return nil, err
+	}
+	shell := l.Shell
+	if shell == "" {
+		shell = "/bin/sh"
+	}
+	cmd := exec.Command(shell, "-c", cmdline)
+	cmd.Stdout = l.Stdout
+	cmd.Stderr = l.Stderr
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("fleet: launch %s (%q): %w", spec.Name, cmdline, err)
+	}
+	inst := &procInstance{
+		name: spec.Name,
+		done: make(chan struct{}),
+		// Terminate commands can take seconds (ssh handshakes); run them
+		// off the supervisor's loop.
+		stop: func() { go l.runTerminate(spec, func() { _ = cmd.Process.Signal(syscall.SIGTERM) }) },
+		kill: func() {
+			// Kill the local command; the terminate template (if any) is
+			// the only reach we have to the remote end, so fire it too.
+			_ = cmd.Process.Kill()
+			go l.runTerminate(spec, func() {})
+		},
+	}
+	go func() {
+		inst.err = cmd.Wait()
+		close(inst.done)
+	}()
+	return inst, nil
+}
+
+// runTerminate runs the terminate template if one is set, or falls back
+// to the given local action.
+func (l *CmdTemplateLauncher) runTerminate(spec Spec, fallback func()) {
+	if l.terminate == nil {
+		fallback()
+		return
+	}
+	cmdline, err := render(l.terminate, spec)
+	if err != nil {
+		l.logf("fleet: %v", err)
+		fallback()
+		return
+	}
+	shell := l.Shell
+	if shell == "" {
+		shell = "/bin/sh"
+	}
+	timeout := l.TerminateTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if out, err := exec.CommandContext(ctx, shell, "-c", cmdline).CombinedOutput(); err != nil {
+		l.logf("fleet: terminate %s (%q): %v: %s", spec.Name, cmdline, err, strings.TrimSpace(string(out)))
+	}
+}
+
+func (l *CmdTemplateLauncher) logf(format string, args ...any) {
+	if l.Logf != nil {
+		l.Logf(format, args...)
+	}
+}
