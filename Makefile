@@ -38,12 +38,15 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzWireResult -fuzztime $(FUZZTIME) -run '^$$' ./internal/exp
 
-# bench measures simulator throughput (the PR 4 hot-path metric) and archives
-# it as JSON for cross-commit comparison.
+# bench measures simulator throughput — the serial hot path (the PR 4
+# metric) and the CU-parallel loop (the PR 9 metric) side by side — and
+# archives both as JSON for cross-commit comparison. The parallel/serial
+# siminsts/s ratio is the intra-simulation speedup; it only exceeds 1 on a
+# multi-core host.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkSimulatorThroughput -benchtime 10x -benchmem . \
-		| $(GO) run ./cmd/ilsim-benchjson -out BENCH_PR4.json
-	@cat BENCH_PR4.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput(Parallel)?$$' -benchtime 10x -benchmem . \
+		| $(GO) run ./cmd/ilsim-benchjson -out BENCH_PR9.json
+	@cat BENCH_PR9.json
 
 # bench-sweep measures experiment-engine scheduling overhead.
 bench-sweep:

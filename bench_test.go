@@ -291,8 +291,22 @@ func BenchmarkSweepParallel(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
-// dynamic instructions per wall-clock second under each abstraction.
+// dynamic instructions per wall-clock second under each abstraction, on the
+// serial timing loop (cu-par=1).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	benchThroughput(b, core.RunOptions{CUParallelism: 1})
+}
+
+// BenchmarkSimulatorThroughputParallel is the same measurement with the
+// cycle's CU ticks sharded across one goroutine per compute unit (the
+// statistics are byte-identical — TestParallelTimingDeterminism proves it;
+// only wall-clock changes). The siminsts/s ratio to the serial benchmark is
+// the intra-simulation speedup; it needs a multi-core host to exceed 1.
+func BenchmarkSimulatorThroughputParallel(b *testing.B) {
+	benchThroughput(b, core.RunOptions{CUParallelism: core.DefaultConfig().NumCUs})
+}
+
+func benchThroughput(b *testing.B, opts core.RunOptions) {
 	for _, abs := range []core.Abstraction{core.AbsHSAIL, core.AbsGCN3} {
 		abs := abs
 		b.Run(abs.String(), func(b *testing.B) {
@@ -311,7 +325,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				run, _, err := sim.Run(abs, "MD", inst.Setup, core.RunOptions{})
+				run, _, err := sim.Run(abs, "MD", inst.Setup, opts)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -115,12 +115,18 @@ func run(args []string, out, errw io.Writer) error {
 	tlsInsecure := fs.Bool("tls-insecure", false, "with -connect/-watch: dial https without verifying the coordinator certificate (lab use only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	blockProfile := fs.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	debugPprof := fs.Bool("pprof", false, "with -serve: expose net/http/pprof handlers on the coordinator's status mux")
+	cuPar := fs.Int("cu-par", 0, "goroutines per simulation for CU ticking (0 = auto: cores/-j, capped at NumCUs; 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.StartOptions(prof.Options{
+		CPUPath: *cpuProfile, MemPath: *memProfile,
+		BlockPath: *blockProfile, MutexPath: *mutexProfile,
+	})
 	if err != nil {
 		return err
 	}
@@ -178,6 +184,10 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		eng := exp.New(0)
 		eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
+		eng.CUParallelism = *cuPar
+		if msg := core.OversubscriptionWarning(slots, *cuPar); msg != "" {
+			fmt.Fprintln(errw, "ilsim-sweep:", msg)
+		}
 		w := &dist.Worker{Coordinator: *connect, Slots: slots, Engine: eng,
 			BundleTarget: *bundle, Client: clientOpts}
 		if *verbose {
@@ -276,6 +286,10 @@ func run(args []string, out, errw io.Writer) error {
 		eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
 		eng.Journal = journal
 		eng.OnProgress = onProgress
+		eng.CUParallelism = *cuPar
+		if msg := core.OversubscriptionWarning(*workers, *cuPar); msg != "" {
+			fmt.Fprintln(errw, "ilsim-sweep:", msg)
+		}
 		runner = eng
 	}
 	results, metrics, err := runner.Run(jobs)

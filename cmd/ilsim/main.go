@@ -58,12 +58,18 @@ func run(args []string, out, errw io.Writer) error {
 	l1iKB := fs.Int("l1i", 0, "override the I-cache size in KB")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	blockProfile := fs.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	noSkip := fs.Bool("noskip", false, "disable cycle skipping (tick every cycle; identical results, for verification)")
+	cuPar := fs.Int("cu-par", 0, "goroutines per simulation for CU ticking (0 = auto: cores/-j, capped at NumCUs; 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.StartOptions(prof.Options{
+		CPUPath: *cpuProfile, MemPath: *memProfile,
+		BlockPath: *blockProfile, MutexPath: *mutexProfile,
+	})
 	if err != nil {
 		return err
 	}
@@ -99,7 +105,9 @@ func run(args []string, out, errw io.Writer) error {
 		cfg.L1ISize = *l1iKB << 10
 	}
 	opts := core.RunOptions{TrackValues: *values, ValueSampleEvery: 4, TrackReuse: *reuse,
-		MaxCycles: *maxCycles, DisableCycleSkipping: *noSkip}
+		MaxCycles: *maxCycles, DisableCycleSkipping: *noSkip,
+		CUParallelism: *cuPar}
+	warnOversubscription(errw, *workers, *cuPar)
 
 	var targets []core.Abstraction
 	switch *abs {
@@ -121,6 +129,7 @@ func run(args []string, out, errw io.Writer) error {
 		}
 	}
 	eng := exp.New(*workers)
+	eng.CUParallelism = *cuPar
 	if *verbose {
 		eng.OnProgress = func(p exp.Progress) { fmt.Fprintln(errw, p.Line()) }
 	}
@@ -294,6 +303,15 @@ func jsonReport(runs []*stats.Run, scale int) map[string]any {
 		out[r.Abstraction] = j
 	}
 	return out
+}
+
+// warnOversubscription tells the user when an explicit -cu-par setting
+// multiplied by the job-level pool exceeds the host's cores. The setting is
+// still honored (results are identical, only wall-clock suffers).
+func warnOversubscription(errw io.Writer, workers, cuPar int) {
+	if msg := core.OversubscriptionWarning(workers, cuPar); msg != "" {
+		fmt.Fprintln(errw, "ilsim:", msg)
+	}
 }
 
 func ratio(a, b uint64) float64 {

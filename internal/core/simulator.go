@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"ilsim/internal/stats"
 	"ilsim/internal/timing"
@@ -23,6 +24,12 @@ type RunOptions struct {
 	// TrackReuse enables register reuse-distance tracking (Fig 7).
 	TrackReuse bool
 
+	// CUParallelism shards each cycle's compute-unit ticks across this
+	// many goroutines (the paper-visible statistics are byte-identical at
+	// every setting). 0 resolves via ResolveCUParallelism — min(NumCUs,
+	// GOMAXPROCS) for a lone simulation; 1 forces the serial loop.
+	CUParallelism int
+
 	// MaxCycles bounds the run's total simulated cycles (0 = unlimited);
 	// exceeding it aborts with ErrBudgetExceeded. This is the defense
 	// against livelocked or runaway simulations: the budget is enforced
@@ -40,6 +47,55 @@ type RunOptions struct {
 	// (the determinism regression test runs both and compares
 	// fingerprints).
 	DisableCycleSkipping bool
+}
+
+// ResolveCUParallelism turns a requested per-simulation CU-parallelism
+// setting into an effective worker count. An explicit request (>0) is
+// honored up to the CU count — even if it oversubscribes the host; CLIs
+// warn about that but defer to the user. Auto (<=0) divides the host's
+// GOMAXPROCS across activeJobs concurrent simulations (a sweep's -j) so the
+// two levels of parallelism multiply to roughly the core budget instead of
+// fighting each other.
+func ResolveCUParallelism(requested, numCUs, activeJobs int) int {
+	if numCUs < 1 {
+		numCUs = 1
+	}
+	if requested > 0 {
+		if requested > numCUs {
+			return numCUs
+		}
+		return requested
+	}
+	if activeJobs < 1 {
+		activeJobs = 1
+	}
+	per := runtime.GOMAXPROCS(0) / activeJobs
+	if per > numCUs {
+		per = numCUs
+	}
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// OversubscriptionWarning returns a human-readable warning when an explicit
+// CU-parallelism request multiplied by the job-level worker pool exceeds the
+// host's cores, or "" when the combination is fine (or auto-resolved).
+// jobWorkers <= 0 means GOMAXPROCS, matching the sweep engines' -j default.
+func OversubscriptionWarning(jobWorkers, cuPar int) string {
+	if cuPar <= 1 {
+		return ""
+	}
+	if jobWorkers <= 0 {
+		jobWorkers = runtime.GOMAXPROCS(0)
+	}
+	cores := runtime.GOMAXPROCS(0)
+	if total := jobWorkers * cuPar; total > cores {
+		return fmt.Sprintf("-j %d x -cu-par %d = %d goroutines oversubscribes %d cores; results are identical but wall-clock may suffer (use -cu-par 0 to auto-budget)",
+			jobWorkers, cuPar, total, cores)
+	}
+	return ""
 }
 
 // Simulator runs workloads on the timed GPU model under either abstraction.
@@ -96,6 +152,9 @@ func (s *Simulator) RunContext(ctx context.Context, abs Abstraction, workload st
 		return nil, nil, fmt.Errorf("core: %s/%s setup: %w", workload, abs, err)
 	}
 	gpu := timing.NewGPU(s.params(), run)
+	gpu.Mem = m.Ctx.Mem
+	gpu.Parallelism = ResolveCUParallelism(opts.CUParallelism, s.Cfg.NumCUs, 1)
+	defer gpu.Stop()
 	wd := timing.Watchdog{
 		MaxCycles:  int64(opts.MaxCycles),
 		MaxInsts:   opts.MaxInsts,
@@ -124,7 +183,7 @@ func (s *Simulator) RunContext(ctx context.Context, abs Abstraction, workload st
 		run.KernelCycles = append(run.KernelCycles, uint64(cycles))
 		m.CompleteDispatch(d)
 	}
-	gpu.HarvestCacheStats()
+	gpu.Finalize()
 	run.DataFootprintBytes = m.Ctx.Mem.FootprintBytes()
 	return run, m, nil
 }

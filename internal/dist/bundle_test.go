@@ -350,6 +350,11 @@ func TestStatusAutoscaling(t *testing.T) {
 	if len(s.PerWorker) != 1 || s.PerWorker[0].Held != 2 || s.PerWorker[0].Done != 2 {
 		t.Fatalf("per-worker rows: %+v", s.PerWorker)
 	}
+	// The active-job label names the lowest-indexed held lease — the job
+	// the worker is executing (bundles run in lease order).
+	if want := jobs[2].String(); s.PerWorker[0].Job != want {
+		t.Fatalf("active job %q, want %q", s.PerWorker[0].Job, want)
+	}
 	if tp := s.PerWorker[0].Throughput; tp < 0.19 || tp > 0.21 {
 		t.Fatalf("throughput %v, want ~0.2 jobs/s", tp)
 	}

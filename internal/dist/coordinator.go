@@ -993,9 +993,17 @@ func (cp *campaign) statusLocked(now time.Time) Status {
 		}
 	}
 	held := make(map[string]int, len(cp.workers))
-	for _, holders := range cp.leases {
+	// active tracks the lowest-indexed job each worker holds: workers
+	// execute bundles in lease order, so that is the job on its CPU now
+	// (or next). Min over indexes keeps the label deterministic despite
+	// map iteration order.
+	active := make(map[string]int, len(cp.workers))
+	for idx, holders := range cp.leases {
 		for w := range holders {
 			held[w]++
+			if cur, ok := active[w]; !ok || idx < cur {
+				active[w] = idx
+			}
 		}
 	}
 	for name, ws := range cp.workers {
@@ -1023,6 +1031,9 @@ func (cp *campaign) statusLocked(now time.Time) Status {
 		}
 		if ws.ewma > 0 {
 			row.Throughput = float64(time.Second) / float64(ws.ewma)
+		}
+		if idx, ok := active[name]; ok {
+			row.Job = cp.jobs[idx].String()
 		}
 		s.PerWorker = append(s.PerWorker, row)
 	}

@@ -191,8 +191,13 @@ type WorkerStatus struct {
 	Name string `json:"name"`
 	// Slots is the concurrency the worker declared at join.
 	Slots int `json:"slots"`
-	// Held counts the leases the worker currently holds.
+	// Held counts the leases the worker currently holds — the size of its
+	// in-flight bundle.
 	Held int `json:"held"`
+	// Job labels the lowest-indexed job the worker currently holds (its
+	// active work, since workers execute bundles in lease order); empty
+	// when the worker holds nothing.
+	Job string `json:"job,omitempty"`
 	// Done counts results the coordinator accepted from this worker.
 	Done int `json:"done"`
 	// EWMAMS is the exponentially weighted moving average of the worker's
@@ -319,9 +324,15 @@ func (s Status) Table() string {
 		if fleet == "" {
 			fleet = "manual"
 		}
-		fmt.Fprintf(&b, "  %-24s %-10s slots %-3d held %-3d done %-4d ewma %-8s %.2f jobs/s",
+		fmt.Fprintf(&b, "  %-24s %-10s slots %-3d bundle %-3d done %-4d ewma %-8s %.2f jobs/s",
 			name, fleet, ws.Slots, ws.Held, ws.Done,
 			(time.Duration(ws.EWMAMS) * time.Millisecond).Round(time.Millisecond), ws.Throughput)
+		if ws.Job != "" {
+			fmt.Fprintf(&b, "  on %s", ws.Job)
+			if ws.Held > 1 {
+				fmt.Fprintf(&b, " (+%d queued)", ws.Held-1)
+			}
+		}
 		if ws.Draining {
 			b.WriteString("  DRAINING")
 		}

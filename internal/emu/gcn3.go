@@ -33,11 +33,16 @@ type GCN3Engine struct {
 	// so the hot path does not zero 2KB of stack per instruction. Reuse is
 	// safe because sources are filled for all lanes (readVecSrc) and dst
 	// is both written and consumed under EXEC (perLane / writeVecDst), so
-	// stale lanes are never observable.
+	// stale lanes are never observable. They also make Execute
+	// non-reentrant: concurrent compute units need per-CU clones (Fork).
 	vs0, vs1, vs2, vdst [isa.WavefrontSize]uint64
+
+	// sharedAtomics records whether the kernel touches shared memory with
+	// read-modify-write operations (computed once at load).
+	sharedAtomics bool
 }
 
-var _ Engine = (*GCN3Engine)(nil)
+var _ Forker = (*GCN3Engine)(nil)
 
 // NewGCN3Engine prepares a loaded code object for execution.
 func NewGCN3Engine(ctx *hsa.Context, co *gcn3.CodeObject, d *hsa.Dispatch, base uint64, col *Collector) *GCN3Engine {
@@ -49,8 +54,31 @@ func NewGCN3Engine(ctx *hsa.Context, co *gcn3.CodeObject, d *hsa.Dispatch, base 
 	for i := range e.infos {
 		e.infos[i] = e.decodeInfo(i)
 	}
+	for i := range e.prog.Insts {
+		if e.prog.Insts[i].Op == gcn3.OpFlatAtomicAdd {
+			e.sharedAtomics = true
+			break
+		}
+	}
 	return e
 }
+
+// Fork returns an execution clone for one compute unit: shared decode
+// state, private lane scratch (the struct copy), a private collector
+// targeting run, and a private memory view when mv is non-nil.
+func (e *GCN3Engine) Fork(run *stats.Run, mv *mem.Memory) Engine {
+	f := *e
+	f.Col = e.Col.Fork(run)
+	if mv != nil {
+		ctx := *e.Ctx
+		ctx.Mem = mv
+		f.Ctx = &ctx
+	}
+	return &f
+}
+
+// SharedAtomics reports read-modify-write use of shared (non-LDS) memory.
+func (e *GCN3Engine) SharedAtomics() bool { return e.sharedAtomics }
 
 // Abstraction identifies the engine.
 func (e *GCN3Engine) Abstraction() string { return "GCN3" }

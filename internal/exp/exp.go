@@ -58,11 +58,15 @@ func (j Job) String() string {
 // the job's result — the identity the journal keys completed work by, in
 // the same spirit as stats.Run.Fingerprint() on the result side. Two jobs
 // with equal fingerprints would (determinism guarantee) produce
-// byte-identical runs.
+// byte-identical runs. CUParallelism is excluded: it is an execution knob
+// with byte-identical results at every setting, so a journal written on a
+// 32-core host must resume cleanly on a laptop.
 func (j Job) Fingerprint() string {
+	opts := j.Opts
+	opts.CUParallelism = 0
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%d|%s|%v|%t|%+v|%+v",
-		j.Label, j.Workload, j.Scale, j.Abs, j.Timeout, j.SkipCheck, j.Config, j.Opts)
+		j.Label, j.Workload, j.Scale, j.Abs, j.Timeout, j.SkipCheck, j.Config, opts)
 	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
@@ -218,6 +222,14 @@ type Engine struct {
 	// Faults, when non-nil, injects scheduled failures into matching jobs
 	// — test instrumentation for the fault-tolerance suite.
 	Faults *FaultPlan
+
+	// CUParallelism overrides every job's core.RunOptions.CUParallelism —
+	// it is a property of the executing host, not of the job (and is
+	// excluded from job fingerprints for the same reason). 0 keeps the
+	// jobs' own settings, which normally auto-resolve against this
+	// engine's worker count so the two parallelism levels share the
+	// machine instead of oversubscribing it.
+	CUParallelism int
 
 	cacheOnce sync.Once
 	cache     *InstanceCache
@@ -435,7 +447,17 @@ func (e *Engine) runJob(ctx context.Context, job Job, attempt int) (run *stats.R
 	if err != nil {
 		return nil, err
 	}
-	run, m, err := sim.RunContext(ctx, job.Abs, job.Workload, inst.Setup, job.Opts)
+	opts := job.Opts
+	if e.CUParallelism != 0 {
+		// Host-level override (results are identical at every setting).
+		opts.CUParallelism = e.CUParallelism
+	} else if opts.CUParallelism <= 0 {
+		// Auto: budget the host's cores across this engine's concurrent
+		// jobs, so -j and intra-simulation parallelism multiply to
+		// roughly GOMAXPROCS instead of compounding.
+		opts.CUParallelism = core.ResolveCUParallelism(0, job.Config.NumCUs, e.workers())
+	}
+	run, m, err := sim.RunContext(ctx, job.Abs, job.Workload, inst.Setup, opts)
 	if err != nil {
 		return nil, err
 	}

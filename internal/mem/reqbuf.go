@@ -1,0 +1,68 @@
+package mem
+
+// Request is one deferred cache access: the line set a compute unit wants
+// to send into the hierarchy, recorded during a parallel phase and applied
+// later under a deterministic order. Lines may be nil for the common
+// single-line case (Line0 holds it), which lets fetch requests defer
+// without materializing a slice.
+type Request struct {
+	Cache *Cache
+	Line0 uint64
+	Lines []uint64
+	Write bool
+	// Tag is caller-defined routing state (typically an index into the
+	// caller's parallel metadata), handed back verbatim on completion.
+	Tag int
+}
+
+// RequestBuffer is an append-only, replayable queue of deferred cache
+// accesses. The parallel timing core gives each compute unit one buffer:
+// phase 1 appends requests in the exact order the serial model would have
+// issued them, phase 2 drains buffers in CU-index order, so the shared
+// hierarchy (ports, LRU state, miss counters) evolves byte-identically to
+// the serial interleaving. Reset keeps capacity, so a steady-state
+// tick/drain cycle allocates nothing.
+type RequestBuffer struct {
+	reqs []Request
+}
+
+// AppendLine defers a single-line access.
+func (b *RequestBuffer) AppendLine(c *Cache, line uint64, write bool, tag int) {
+	b.reqs = append(b.reqs, Request{Cache: c, Line0: line, Write: write, Tag: tag})
+}
+
+// Append defers a multi-line access. The slice is held until Drain, not
+// copied: callers reusing coalescing scratch must not overwrite it before
+// draining (the timing model's one-issue-per-wave-per-cycle invariant
+// guarantees that).
+func (b *RequestBuffer) Append(c *Cache, lines []uint64, write bool, tag int) {
+	b.reqs = append(b.reqs, Request{Cache: c, Lines: lines, Write: write, Tag: tag})
+}
+
+// Len returns the number of deferred requests.
+func (b *RequestBuffer) Len() int { return len(b.reqs) }
+
+// Reset empties the buffer, keeping its capacity.
+func (b *RequestBuffer) Reset() { b.reqs = b.reqs[:0] }
+
+// Drain applies every deferred request in append order at cycle now and
+// reports each request's completion cycle — the max over its lines, or now
+// for an empty line set — to complete along with its tag. The buffer is
+// reset afterwards.
+func (b *RequestBuffer) Drain(now int64, complete func(tag int, ready int64)) {
+	for i := range b.reqs {
+		r := &b.reqs[i]
+		ready := now
+		if r.Lines == nil {
+			ready = r.Cache.Access(r.Line0, r.Write, now)
+		} else {
+			for _, line := range r.Lines {
+				if done := r.Cache.Access(line, r.Write, now); done > ready {
+					ready = done
+				}
+			}
+		}
+		complete(r.Tag, ready)
+	}
+	b.reqs = b.reqs[:0]
+}

@@ -22,26 +22,26 @@ import (
 // and paste the printed map — but only when a PR deliberately changes the
 // model, never for a speedup.
 var goldenFingerprints = map[string]string{
-	"ArrayBW/HSAIL":     "49f1b09c3099092fa9bc0bbcc704d31e52aeb8bfcb025092d2c1f9234fa4dc5f",
-	"ArrayBW/GCN3":      "e27c1ee3ba7f496ae50aa86e39f3c44eb977ce8d64fc36062349f15c36b0e995",
+	"ArrayBW/HSAIL":     "2c86e9d748245cdc3ae5192b1e68f7226d752313e606436fa9dc2f6b23d8821b",
+	"ArrayBW/GCN3":      "315bac5b3ce830cbcb714ec3c114e4575bf757a20cc5b942c255bc03ca9b1ab2",
 	"BitonicSort/HSAIL": "383120a02b3871d717e4747d31619d7c4c6fc8c88f8a2aad0a5fc0880f4c6f54",
 	"BitonicSort/GCN3":  "c5a0424cd71943a4271fdeced5c1f0e28b107b36c54658cfec25464b463610dc",
-	"CoMD/HSAIL":        "122ee4585b1b2e4a58659a790f68a69704c7571479b877bf613f17b2b03dae1d",
-	"CoMD/GCN3":         "de62ff03fdf95f15fdefafe0ff7df779bd953dd10478b99d3b80b4d0e1cb5036",
-	"FFT/HSAIL":         "91d64330277724ccca343d307dad1e1071bfbd598df1c471b9c598b048f77cdb",
-	"FFT/GCN3":          "03481f94d6f2bdd0708dc7ff886efa0820c0ef0d24d625b971074b62f51b7671",
-	"HPGMG/HSAIL":       "816ab288272c2eaadcce36ca1183b53a6f3c6cc8772ee1a085722570224b9cdb",
-	"HPGMG/GCN3":        "65d99a44a055616a16146e74a1d4b59641859243158e046d52734542379fd11d",
-	"LULESH/HSAIL":      "479934025b96e0d32ece6ede2307fa4eb6e54b94fd013b9f7c1074489de539f5",
-	"LULESH/GCN3":       "38b6744c23e8d71348f6e5e8226fc3f0e86b81f35688c18d512fb700b5cd3ae8",
-	"MD/HSAIL":          "21562e5241414128f6c49f5e93e94c0243fbc98b89b89192de8a96080a2b3090",
-	"MD/GCN3":           "4ff75eb314e71d7a3016df3fb0a2d99539f7039443af15f7ce9870ff086d1b5c",
-	"SNAP/HSAIL":        "92b150a119d5a9206040bf6f1b0e9d7a15bb5afa1c97b6457739f93285b3d3f8",
-	"SNAP/GCN3":         "64ba297220ff8d39db69b3944fb31365e9d213e1bef25732dafe054aeaf2855a",
-	"SpMV/HSAIL":        "8193d18e4ceb27e2af2e68989bdd07988a24f8f34fa39621a02abfee82dbe8ae",
-	"SpMV/GCN3":         "e6a3df2af8e66cf4838c639a831337457f86440a2e4e466f08ae10f304940a04",
-	"XSBench/HSAIL":     "9a55213c084af0b98d92a0160857fdba278f64125ad83a159b93e6a55f2d399d",
-	"XSBench/GCN3":      "d7888b6f06b84e7bbe48bcb8fb2efa0047bb413a00e193d4bb78080b35aecdfb",
+	"CoMD/HSAIL":        "95b66f47206dda5b9e33caa5ec52267598fd1359fa863afd556c9306e7171e50",
+	"CoMD/GCN3":         "1dce36d232e4870be8ddb3c7648c1d34e76f7b81a508f062faa15613687250ca",
+	"FFT/HSAIL":         "c0312b31f343781dbe4c84b6af37c965f306861c1ecb2e251834a1a8ef80e97b",
+	"FFT/GCN3":          "e754b02cc470fab8266bf77253636c1533fba4f0f30ea7f1ea3bfb0becce362b",
+	"HPGMG/HSAIL":       "9b3e91c2a5eee49c317a71b1fdb7cf49d0c1fb5a11945e5b4990350c95185c11",
+	"HPGMG/GCN3":        "b8fb16286e9fa87132b687ff080f865dc35b58845a23e9d2e1c338b7c9997626",
+	"LULESH/HSAIL":      "6421d55d28157c2a99900dd1fec6fc362822ba74d65f3c50c78fe34b2573a95d",
+	"LULESH/GCN3":       "89c89954f49bd9a62670e17459d475dda82f2dca3788dab78c23aafba9e3eac4",
+	"MD/HSAIL":          "80868a44b64ca5ebe886c3d7d6f955abad28c78f79bcf2b9eee8ec14f0f3f354",
+	"MD/GCN3":           "de88a6d77e58ab111916c656c664ab6ccc3abef1399bb50c22abc68a6dd6f82b",
+	"SNAP/HSAIL":        "77183f679147bd8ba306471b9312d45b9684848113e71f4fe489c61453484f6e",
+	"SNAP/GCN3":         "c69def1e4c7a54b2242658735c62ea2236587472c3fce17d999076a392c25ceb",
+	"SpMV/HSAIL":        "d9922ab261f014a50f93aca15c6eee1dd1bc43c667025bd69a9b0c15b3ba3115",
+	"SpMV/GCN3":         "7637385a25ff0dd5e12eb2ad1be82c08c2513f49ab30ed15088ce6e6df28da51",
+	"XSBench/HSAIL":     "f80412baf6177f23444d985efa0469cc3f2054ea9cf13365e49edac6307ae143",
+	"XSBench/GCN3":      "879cf05f806a5d57c31d1b9117d8a18dc84f2441ddd618486569d307f9bbf8cf",
 }
 
 // TestGoldenFingerprints runs the full 10-workload suite under both

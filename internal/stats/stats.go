@@ -69,6 +69,48 @@ type Run struct {
 	FetchStallCycles uint64
 }
 
+// Merge folds a shard's counters into r. The parallel timing core gives
+// each compute unit a private Run so per-CU statistics never contend; at
+// run end the shards merge back into the root in CU-index order. Every
+// field is a sum (or a histogram count union), so the merged totals equal
+// what a single shared Run would have accumulated, regardless of how the
+// work was sharded. Identity fields (Workload, Abstraction) and the root's
+// KernelCycles are left untouched; a shard's KernelCycles (always empty in
+// the sharded-timing use) are appended.
+func (r *Run) Merge(o *Run) {
+	if o == nil {
+		return
+	}
+	r.Cycles += o.Cycles
+	r.KernelCycles = append(r.KernelCycles, o.KernelCycles...)
+	r.KernelLaunches += o.KernelLaunches
+	for i := range r.InstsByCategory {
+		r.InstsByCategory[i] += o.InstsByCategory[i]
+	}
+	r.VRFBankConflicts += o.VRFBankConflicts
+	r.VRFAccesses += o.VRFAccesses
+	r.IBFlushes += o.IBFlushes
+	r.Redirects += o.Redirects
+	r.CodeFootprintBytes += o.CodeFootprintBytes
+	r.DataFootprintBytes += o.DataFootprintBytes
+	r.VALUActiveLanes += o.VALUActiveLanes
+	r.VALUInsts += o.VALUInsts
+	r.ReadLanes += o.ReadLanes
+	r.ReadUnique += o.ReadUnique
+	r.WriteLanes += o.WriteLanes
+	r.WriteUnique += o.WriteUnique
+	r.Reuse.Merge(&o.Reuse)
+	r.L1DAccesses += o.L1DAccesses
+	r.L1DMisses += o.L1DMisses
+	r.L1IAccesses += o.L1IAccesses
+	r.L1IMisses += o.L1IMisses
+	r.L2Accesses += o.L2Accesses
+	r.L2Misses += o.L2Misses
+	r.ScalarL1Accesses += o.ScalarL1Accesses
+	r.ScalarL1Misses += o.ScalarL1Misses
+	r.FetchStallCycles += o.FetchStallCycles
+}
+
 // TotalInsts returns the dynamic instruction count.
 func (r *Run) TotalInsts() uint64 {
 	var n uint64
@@ -161,6 +203,34 @@ func (h *Histogram) Add(v uint32) {
 		h.counts[v]++
 	}
 	h.n++
+}
+
+// Merge folds another histogram's observations into h. Count union is
+// commutative and associative, so merging per-shard histograms in any
+// order yields the distribution a single shared histogram would have
+// accumulated; Items()/Percentile on the merged result are identical.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	h.keys = nil
+	if o.dense != nil {
+		if h.dense == nil {
+			h.dense = make([]uint64, histDenseSize)
+		}
+		for v, c := range o.dense {
+			h.dense[v] += c
+		}
+	}
+	if len(o.counts) > 0 {
+		if h.counts == nil {
+			h.counts = make(map[uint32]uint64, len(o.counts))
+		}
+		for k, c := range o.counts {
+			h.counts[k] += c
+		}
+	}
+	h.n += o.n
 }
 
 // count returns the observation count of one value.

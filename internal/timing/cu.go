@@ -6,6 +6,7 @@ import (
 	"ilsim/internal/emu"
 	"ilsim/internal/isa"
 	"ilsim/internal/mem"
+	"ilsim/internal/stats"
 )
 
 // noEvent marks "no future cycle at which this CU's state can change on its
@@ -88,7 +89,28 @@ type wgRun struct {
 	remaining int
 }
 
+// pendReq is the CU-side metadata of one deferred cache access (the line
+// set itself lives in the request buffer): which wave to complete and, for
+// data accesses, the instruction whose dependency state the completion
+// feeds. A nil info marks an instruction-fetch fill.
+type pendReq struct {
+	wv   *waveCtx
+	info *emu.InstInfo
+}
+
 // cu is one compute unit.
+//
+// Each tick is split into two phases so CUs can tick concurrently:
+//
+//	phase 1 (tick)  — fetch scheduling, issue, execute and every
+//	                  CU-private state transition, touching only this
+//	                  CU's waves, its stat shard (run) and its engine
+//	                  clone (eng). Accesses to the shared cache
+//	                  hierarchy are appended to reqs instead of applied.
+//	phase 2 (drain) — the GPU drains reqs in CU-index order on one
+//	                  goroutine, applying the deferred accesses in the
+//	                  exact order the serial loop would have issued them,
+//	                  so shared port/LRU state evolves byte-identically.
 type cu struct {
 	g  *GPU
 	id int
@@ -96,6 +118,25 @@ type cu struct {
 	l1d *mem.Cache
 	l1i *mem.Cache
 	sl1 *mem.Cache
+
+	// run is the CU's private statistics shard (merged into the GPU's
+	// root run at Finalize); eng is the per-CU engine clone for the
+	// current dispatch; mview is the CU's functional-memory view (nil
+	// until the GPU runs parallel).
+	run   *stats.Run
+	eng   emu.Engine
+	mview *mem.Memory
+
+	// reqs/pend hold the tick's deferred shared-cache accesses;
+	// completeFn is the drain callback, bound once so draining does not
+	// allocate.
+	reqs       mem.RequestBuffer
+	pend       []pendReq
+	completeFn func(tag int, ready int64)
+
+	// finWGs/tickErr carry tick's results across the phase barrier.
+	finWGs  int
+	tickErr error
 
 	// waves is kept permanently ordered by seq: place appends waves with
 	// monotonically increasing seq and releaseWG compacts stably, so the
@@ -135,11 +176,14 @@ type cu struct {
 }
 
 func newCU(g *GPU, id int) *cu {
-	return &cu{
+	c := &cu{
 		g: g, id: id,
+		run:      &stats.Run{},
 		simdBusy: make([]int64, g.P.SIMDsPerCU),
 		bankFree: make([]int64, g.P.VRFBanks),
 	}
+	c.completeFn = c.complete
+	return c
 }
 
 // wake lowers the CU's next-event bound to cycle at.
@@ -227,21 +271,53 @@ func (c *cu) fetchStage(now int64) {
 		addr := wv.w.PC + uint64(wv.ibBytes)
 		line := addr &^ (mem.LineSize - 1)
 		bytes := int(line + mem.LineSize - addr)
-		done := c.l1i.Access(line, false, now)
+		// The shared (per-4-CU) I-cache lookup is deferred to the drain
+		// phase; until then the fill's completion cycle is unknown, which
+		// noEvent encodes (it cannot satisfy the completion check above,
+		// and waking at it is a no-op).
 		wv.fetchBusy = true
-		wv.fetchDone = done
+		wv.fetchDone = noEvent
 		wv.fetchBytes = bytes
 		wv.fetchInEpoch = wv.fetchEpoch
+		c.pend = append(c.pend, pendReq{wv: wv})
+		c.reqs.AppendLine(c.l1i, line, false, len(c.pend)-1)
 		c.active = true
 		started++
 	}
 	// Every in-flight fill is a future event (completion refills the IB, or
-	// frees the fetch slot of a flushed wave).
+	// frees the fetch slot of a flushed wave). Fills deferred this tick
+	// wake at their true completion cycle during drain.
 	for _, wv := range c.waves {
 		if wv.fetchBusy && !wv.done {
 			c.wake(wv.fetchDone)
 		}
 	}
+}
+
+// complete is the drain callback: it lands one deferred access's
+// completion cycle. Fetch fills (nil info) record the fill time and wake
+// the CU exactly as the serial fetch stage did — unconditionally, because
+// the requesting wave was live when the fill started, which is when the
+// serial loop registered the wake. Data accesses feed the wave's
+// dependency state.
+func (c *cu) complete(tag int, ready int64) {
+	p := &c.pend[tag]
+	if p.info == nil {
+		p.wv.fetchDone = ready
+		c.wake(ready)
+		return
+	}
+	c.finishMem(p.wv, p.info, ready)
+}
+
+// drain applies the tick's deferred shared-cache accesses in append order
+// (serial-identical within the CU; the GPU drains CUs in index order).
+func (c *cu) drain(now int64) {
+	if c.reqs.Len() == 0 {
+		return
+	}
+	c.reqs.Drain(now, c.completeFn)
+	c.pend = c.pend[:0]
 }
 
 // issueStage picks ready wavefronts oldest-first and issues at most one
@@ -261,7 +337,7 @@ func (c *cu) issueStage(now int64) (int, error) {
 	c.order = order
 
 	finished := 0
-	run := c.g.Run
+	run := c.run
 	for _, wv := range order {
 		if now < wv.nextIssue {
 			c.wake(wv.nextIssue)
@@ -415,34 +491,34 @@ func scoreboardReadyAt(wv *waveCtx, info *emu.InstInfo) int64 {
 }
 
 // retire charges latencies for an issued instruction and updates dependency
-// state, branch redirects and barriers.
+// state, branch redirects and barriers. Global and scalar memory accesses go
+// through the shared hierarchy, so their completion cycles are deferred to
+// the drain phase; everything else completes with a CU-private latency and
+// lands immediately. Both paths feed finishMem, and each wave issues at most
+// one instruction per cycle, so the wave's dependency lists grow in the same
+// order the serial loop grew them.
 func (c *cu) retire(wv *waveCtx, info *emu.InstInfo, res *emu.ExecResult, now int64) {
 	p := &c.g.P
 	// Completion time of the instruction's result.
-	var ready int64
 	switch {
-	case res.MemKind == emu.MemGlobal:
-		ready = now
-		for _, line := range res.Lines {
-			done := c.l1d.Access(line, res.MemWrite, now)
-			if done > ready {
-				ready = done
-			}
-		}
-	case res.MemKind == emu.MemScalar:
-		ready = now
-		for _, line := range res.Lines {
-			done := c.sl1.Access(line, false, now)
-			if done > ready {
-				ready = done
-			}
-		}
+	case res.MemKind == emu.MemGlobal && len(res.Lines) > 0:
+		// res.Lines is the wave's coalescing scratch; it is stable until
+		// the wave executes again, which is after the drain.
+		c.pend = append(c.pend, pendReq{wv: wv, info: info})
+		c.reqs.Append(c.l1d, res.Lines, res.MemWrite, len(c.pend)-1)
+	case res.MemKind == emu.MemScalar && len(res.Lines) > 0:
+		c.pend = append(c.pend, pendReq{wv: wv, info: info})
+		c.reqs.Append(c.sl1, res.Lines, false, len(c.pend)-1)
+	case res.MemKind == emu.MemGlobal || res.MemKind == emu.MemScalar:
+		// Fully masked access: no lines, completes immediately.
+		c.finishMem(wv, info, now)
 	case res.MemKind == emu.MemLDS || info.Category == isa.CatLDS:
-		ready = now + p.LDSLatency + int64(res.LDSBankConflicts)
 		if res.LDSBankConflicts > 0 {
 			c.ldsBusy += int64(res.LDSBankConflicts)
 		}
+		c.finishMem(wv, info, now+p.LDSLatency+int64(res.LDSBankConflicts))
 	default:
+		var ready int64
 		switch info.LatClass {
 		case emu.LatALU:
 			ready = now + p.ALULatency
@@ -457,30 +533,11 @@ func (c *cu) retire(wv *waveCtx, info *emu.InstInfo, res *emu.ExecResult, now in
 		default:
 			ready = now + 1
 		}
-	}
-
-	if wv.vregReady != nil {
-		// HSAIL scoreboard: destination registers become ready when the
-		// instruction completes.
-		for _, r := range info.VRFWrites.Slice() {
-			wv.vregReady[r] = ready
-		}
-	} else {
-		// GCN3 waitcnt counters.
-		if info.IsVMem {
-			// In-order completion: never earlier than the previous one.
-			if n := len(wv.vmemDone); n > 0 && wv.vmemDone[n-1] > ready {
-				ready = wv.vmemDone[n-1]
-			}
-			wv.vmemDone = append(wv.vmemDone, ready)
-		}
-		if info.IsLGKM {
-			wv.lgkmDone = append(wv.lgkmDone, ready)
-		}
+		c.finishMem(wv, info, ready)
 	}
 
 	if res.Redirected {
-		run := c.g.Run
+		run := c.run
 		if run != nil {
 			run.Redirects++
 			if wv.ibBytes > 0 || wv.fetchBusy {
@@ -495,6 +552,31 @@ func (c *cu) retire(wv *waveCtx, info *emu.InstInfo, res *emu.ExecResult, now in
 	if res.IsBarrier {
 		wv.barrier = true
 		c.checkBarrier(wv.wg)
+	}
+}
+
+// finishMem lands an instruction's completion cycle in the wave's dependency
+// state. It runs inline from retire for CU-private latencies and from the
+// drain callback for shared-hierarchy accesses.
+func (c *cu) finishMem(wv *waveCtx, info *emu.InstInfo, ready int64) {
+	if wv.vregReady != nil {
+		// HSAIL scoreboard: destination registers become ready when the
+		// instruction completes.
+		for _, r := range info.VRFWrites.Slice() {
+			wv.vregReady[r] = ready
+		}
+		return
+	}
+	// GCN3 waitcnt counters.
+	if info.IsVMem {
+		// In-order completion: never earlier than the previous one.
+		if n := len(wv.vmemDone); n > 0 && wv.vmemDone[n-1] > ready {
+			ready = wv.vmemDone[n-1]
+		}
+		wv.vmemDone = append(wv.vmemDone, ready)
+	}
+	if info.IsLGKM {
+		wv.lgkmDone = append(wv.lgkmDone, ready)
 	}
 }
 

@@ -59,43 +59,58 @@ func benchCU(waves int) *cu {
 	return c
 }
 
-// TestIssueStageNoAllocs pins the PR's allocation invariant: once a CU is in
-// steady state, ticking it (fetch + issue + execute + retire) allocates
-// nothing — no per-cycle wave lists, no coalescing buffers, no decode.
+// cycle runs one CU through a full two-phase cycle: the phase-1 tick plus
+// the phase-2 drain that applies its deferred shared-cache accesses.
+func cycle(c *cu, now int64) error {
+	if _, err := c.tick(now); err != nil {
+		return err
+	}
+	c.drain(now)
+	return nil
+}
+
+// TestIssueStageNoAllocs pins the allocation invariant the parallel timing
+// core inherits from the serial one: once a CU is in steady state, a full
+// two-phase cycle — tick (fetch + issue + execute + retire into the request
+// buffer) plus drain (deferred cache accesses) — allocates nothing. This is
+// exactly the per-worker scratch contract: every buffer involved (order
+// scratch, request buffer, pending metadata) is CU-owned and reused.
 func TestIssueStageNoAllocs(t *testing.T) {
 	c := benchCU(8)
 	now := int64(0)
-	// Warm past cold-start growth (order scratch, cache compulsory misses).
+	// Warm past cold-start growth (order scratch, request buffers, cache
+	// compulsory misses).
 	for ; now < 512; now++ {
-		if _, err := c.tick(now); err != nil {
+		if err := cycle(c, now); err != nil {
 			t.Fatal(err)
 		}
 	}
 	avg := testing.AllocsPerRun(2000, func() {
-		if _, err := c.tick(now); err != nil {
+		if err := cycle(c, now); err != nil {
 			t.Fatal(err)
 		}
 		now++
 	})
 	if avg != 0 {
-		t.Fatalf("steady-state tick allocates: %v allocs/op, want 0", avg)
+		t.Fatalf("steady-state cycle allocates: %v allocs/op, want 0", avg)
 	}
 }
 
 // BenchmarkIssueStage measures the per-cycle cost of one CU's pipeline in
-// steady state (8 resident waves issuing vector-ALU work).
+// steady state (8 resident waves issuing vector-ALU work), including the
+// phase-2 drain.
 func BenchmarkIssueStage(b *testing.B) {
 	c := benchCU(8)
 	now := int64(0)
 	for ; now < 512; now++ {
-		if _, err := c.tick(now); err != nil {
+		if err := cycle(c, now); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.tick(now); err != nil {
+		if err := cycle(c, now); err != nil {
 			b.Fatal(err)
 		}
 		now++

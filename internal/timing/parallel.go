@@ -1,0 +1,75 @@
+package timing
+
+import "sync"
+
+// pool is the phase-1 worker pool: a fixed set of goroutines, each owning a
+// contiguous slice of the GPU's CUs. One epoch = one simulated cycle's phase
+// 1: the main goroutine publishes the cycle to every worker, each worker
+// ticks its CUs (storing results on the CUs themselves), and the WaitGroup
+// forms the barrier. Channel send/receive and Done/Wait give the
+// happens-before edges that make every CU field written in phase 1 visible
+// to the main goroutine's phase 2, and vice versa for the next epoch — no
+// other synchronization exists on the hot path, and an epoch performs no
+// allocation.
+type pool struct {
+	chans []chan int64
+	split [][]*cu
+	wg    sync.WaitGroup
+}
+
+// newPool starts workers goroutines over cus, partitioned contiguously so
+// neighboring CUs (which share I-cache and scalar-cache groups, and tend to
+// receive workgroups together) stay on one worker.
+func newPool(cus []*cu, workers int) *pool {
+	if workers > len(cus) {
+		workers = len(cus)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{}
+	base, rem := len(cus)/workers, len(cus)%workers
+	start := 0
+	for i := 0; i < workers; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		part := cus[start : start+size]
+		start += size
+		ch := make(chan int64, 1)
+		p.chans = append(p.chans, ch)
+		p.split = append(p.split, part)
+		go p.worker(ch, part)
+	}
+	return p
+}
+
+func (p *pool) worker(ch chan int64, part []*cu) {
+	for now := range ch {
+		for _, c := range part {
+			c.finWGs, c.tickErr = c.tick(now)
+		}
+		p.wg.Done()
+	}
+}
+
+// run executes one phase-1 epoch at cycle now and blocks until every worker
+// has finished its CUs. The previous epoch's Wait guarantees each buffered
+// channel is empty, so the sends never block.
+func (p *pool) run(now int64) {
+	p.wg.Add(len(p.chans))
+	for _, ch := range p.chans {
+		ch <- now
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the workers. Safe only between epochs.
+func (p *pool) stop() {
+	for _, ch := range p.chans {
+		close(ch)
+	}
+	p.chans = nil
+	p.split = nil
+}

@@ -68,18 +68,18 @@ func (w Watchdog) every() int64 {
 	return DefaultCheckEvery
 }
 
-// check reports why the run must stop, or nil to continue.
-func (w Watchdog) check(now int64, run *stats.Run) error {
+// check reports why the run must stop, or nil to continue. insts is the
+// committed-instruction total (only consulted when MaxInsts is set; callers
+// may pass 0 otherwise).
+func (w Watchdog) check(now int64, insts uint64) error {
 	if w.Ctx != nil && w.Ctx.Err() != nil {
 		return fmt.Errorf("timing: run canceled at cycle %d: %w", now, context.Cause(w.Ctx))
 	}
 	if w.MaxCycles > 0 && now >= w.MaxCycles {
 		return fmt.Errorf("timing: %w: %d cycles >= budget %d", ErrBudgetExceeded, now, w.MaxCycles)
 	}
-	if w.MaxInsts > 0 && run != nil {
-		if n := run.TotalInsts(); n >= w.MaxInsts {
-			return fmt.Errorf("timing: %w: %d instructions >= budget %d", ErrBudgetExceeded, n, w.MaxInsts)
-		}
+	if w.MaxInsts > 0 && insts >= w.MaxInsts {
+		return fmt.Errorf("timing: %w: %d instructions >= budget %d", ErrBudgetExceeded, insts, w.MaxInsts)
 	}
 	return nil
 }
@@ -159,7 +159,17 @@ type GPU struct {
 	// determinism tests assert it); the flag exists for debugging and for
 	// those tests.
 	NoSkip bool
-	cus    []*cu
+	// Parallelism is the number of goroutines phase-1 CU ticks shard
+	// across (core.ResolveCUParallelism computes the usual value; <=1
+	// means serial). Results are byte-identical at every setting. Set it
+	// before the first RunDispatch.
+	Parallelism int
+	// Mem is the dispatch's functional memory. Parallel runs fork one
+	// view per CU from it so page-table caches and footprint tracking
+	// stay goroutine-private; leaving it nil forces serial ticking.
+	Mem *mem.Memory
+
+	cus []*cu
 	l2     *mem.Cache
 	dram   *mem.DRAM
 	// iCaches / sCaches are shared per 4 CUs (Table 4).
@@ -170,6 +180,9 @@ type GPU struct {
 	// wdTick counts cycles toward the next watchdog check; it persists
 	// across dispatches so short kernels cannot starve the watchdog.
 	wdTick int64
+	// pool is the lazily started phase-1 worker pool (nil until the first
+	// parallel tick; Stop shuts it down).
+	pool *pool
 }
 
 // NewGPU builds the device.
@@ -198,17 +211,105 @@ func NewGPU(p Params, run *stats.Run) *GPU {
 // Now returns the current cycle.
 func (g *GPU) Now() int64 { return g.now }
 
+// parallelism returns the effective phase-1 worker count.
+func (g *GPU) parallelism() int {
+	p := g.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	if p > len(g.cus) {
+		p = len(g.cus)
+	}
+	return p
+}
+
+// totalInsts sums committed instructions across the root run and every CU
+// shard (shards hold a dispatch's counts until Finalize merges them).
+func (g *GPU) totalInsts() uint64 {
+	var n uint64
+	if g.Run != nil {
+		n = g.Run.TotalInsts()
+	}
+	for _, c := range g.cus {
+		n += c.run.TotalInsts()
+	}
+	return n
+}
+
+// wdInsts returns the instruction total for a watchdog check, skipping the
+// shard scan when no instruction budget is set.
+func (g *GPU) wdInsts() uint64 {
+	if g.WD.MaxInsts == 0 {
+		return 0
+	}
+	return g.totalInsts()
+}
+
+// populated counts CUs holding at least one wavefront slot.
+func (g *GPU) populated() int {
+	n := 0
+	for _, c := range g.cus {
+		if len(c.waves) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// prepareEngines binds each CU's execution engine for the coming dispatch.
+// Forkable engines get one clone per CU feeding that CU's stat shard, so
+// collector sampling state (an order-dependent counter) advances per-CU and
+// results stop depending on the host parallelism level. Memory views are
+// forked only when the dispatch may actually tick in parallel: a view routes
+// page lookups through the shared page-table lock, an overhead serial runs
+// need not pay. The return value reports whether parallel phase-1 ticking is
+// allowed (it never is for non-forkable engines or kernels with shared
+// atomics, whose semantics require the serial interleaving).
+func (g *GPU) prepareEngines(eng emu.Engine) bool {
+	fk, ok := eng.(emu.Forker)
+	if !ok {
+		for _, c := range g.cus {
+			c.eng = eng
+		}
+		return false
+	}
+	par := g.parallelism() > 1 && g.Mem != nil && !fk.SharedAtomics()
+	for _, c := range g.cus {
+		var mv *mem.Memory
+		if par {
+			if c.mview == nil {
+				c.mview = g.Mem.Fork()
+			}
+			mv = c.mview
+		}
+		c.eng = fk.Fork(c.run, mv)
+	}
+	return par
+}
+
 // RunDispatch executes one dispatch to completion on the timed model and
 // returns the cycles it took.
+//
+// Each cycle is two phases. Phase 1 ticks every CU — fetch scheduling,
+// issue, functional execution — touching only that CU's private state and
+// deferring shared-cache accesses into its request buffer; with Parallelism
+// > 1 the ticks shard across the worker pool. Phase 2, always on this
+// goroutine, drains the buffers in CU-index order, applying the deferred
+// accesses in exactly the order the serial loop would have issued them, then
+// reduces the per-CU skip bounds. Shared state therefore evolves
+// byte-identically at every parallelism level, which
+// TestParallelTimingDeterminism asserts via run fingerprints.
 func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 	watched := g.WD.enabled()
 	if watched {
-		if err := g.WD.check(g.now, g.Run); err != nil {
+		if err := g.WD.check(g.now, g.wdInsts()); err != nil {
 			return 0, err
 		}
 	}
 	start := g.now
 	g.now += g.P.LaunchOverhead
+
+	parallel := g.prepareEngines(eng)
 
 	// Occupancy: waves per CU limited by WF slots and register files.
 	vregs, sregs := eng.RegDemand()
@@ -238,7 +339,7 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 			placed := false
 			for _, c := range g.cus {
 				if c.canPlace(wg, maxWaves) {
-					c.place(wg, eng)
+					c.place(wg, c.eng)
 					next++
 					active++
 					placed = true
@@ -259,12 +360,29 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 		idle := true
 		nextEvent := noEvent
 		stallers := int64(0)
-		for _, c := range g.cus {
-			finished, err := c.tick(g.now)
-			if err != nil {
-				return 0, err
+		// Phase 1: tick CUs against private state. The pool path and the
+		// inline path run the same per-CU code; the pool only pays off when
+		// at least two CUs hold waves (drain tails often leave one).
+		if parallel && g.populated() > 1 {
+			if g.pool == nil {
+				g.pool = newPool(g.cus, g.parallelism())
 			}
-			active -= finished
+			g.pool.run(g.now)
+		} else {
+			for _, c := range g.cus {
+				c.finWGs, c.tickErr = c.tick(g.now)
+			}
+		}
+		// Phase 2: serial. Surface the lowest-index CU's error first (the
+		// serial loop would have hit it first), drain deferred cache
+		// accesses in CU-index order, then reduce the skip bounds — after
+		// draining, because fetch-fill completions lower them.
+		for _, c := range g.cus {
+			if c.tickErr != nil {
+				return 0, c.tickErr
+			}
+			active -= c.finWGs
+			c.drain(g.now)
 			if c.active {
 				idle = false
 			}
@@ -283,7 +401,7 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 		if watched {
 			if g.wdTick++; g.wdTick >= g.WD.every() {
 				g.wdTick = 0
-				if err := g.WD.check(g.now, g.Run); err != nil {
+				if err := g.WD.check(g.now, g.wdInsts()); err != nil {
 					return 0, err
 				}
 			}
@@ -311,10 +429,20 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 			if watched {
 				if g.wdTick += skip; g.wdTick >= g.WD.every() {
 					g.wdTick = 0
-					if err := g.WD.check(g.now, g.Run); err != nil {
+					if err := g.WD.check(g.now, g.wdInsts()); err != nil {
 						return 0, err
 					}
 				}
+			}
+		}
+	}
+	// Fold forked footprint views back into the root memory so
+	// between-dispatch footprint reads and policy toggles on the root see
+	// everything this dispatch touched.
+	if g.Mem != nil {
+		for _, c := range g.cus {
+			if c.mview != nil {
+				g.Mem.AbsorbFootprint(c.mview)
 			}
 		}
 	}
@@ -340,6 +468,29 @@ func (g *GPU) HarvestCacheStats() {
 	}
 	g.Run.L2Accesses = g.l2.Stats.Accesses
 	g.Run.L2Misses = g.l2.Stats.Misses
+}
+
+// Finalize folds per-CU state back into the shared run record: hierarchy
+// counters (HarvestCacheStats) and the per-CU stat shards, which are zeroed
+// after merging. Call it once, after the last dispatch.
+func (g *GPU) Finalize() {
+	g.HarvestCacheStats()
+	if g.Run == nil {
+		return
+	}
+	for _, c := range g.cus {
+		g.Run.Merge(c.run)
+		*c.run = stats.Run{}
+	}
+}
+
+// Stop shuts down the phase-1 worker pool if one was started. The GPU stays
+// usable; a later parallel dispatch starts a fresh pool.
+func (g *GPU) Stop() {
+	if g.pool != nil {
+		g.pool.stop()
+		g.pool = nil
+	}
 }
 
 func min3(a, b, c int) int {

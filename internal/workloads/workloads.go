@@ -20,6 +20,7 @@ package workloads
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 
 	"ilsim/internal/core"
@@ -72,13 +73,17 @@ func ByName(name string) (*Workload, error) {
 	return nil, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
-// rng returns the deterministic generator for a workload/scale pair.
+// rng returns the deterministic generator for a workload/scale pair. The
+// seed is FNV-1a over the name mixed with the scale: the earlier ad-hoc
+// `len*K + scale` + base-31 scheme could collide for short names (two
+// colliding workloads would silently share input data across the whole
+// suite), while FNV-1a keeps distinct (name, scale) pairs on distinct
+// streams.
 func rng(name string, scale int) *rand.Rand {
-	seed := int64(len(name)*1000003 + scale)
-	for _, c := range name {
-		seed = seed*31 + int64(c)
-	}
-	return rand.New(rand.NewSource(seed))
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := h.Sum64()*0x100000001b3 + uint64(scale)
+	return rand.New(rand.NewSource(int64(seed)))
 }
 
 // f32Bits truncates a float64 to float32 storage bits.
