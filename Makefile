@@ -30,7 +30,7 @@ test:
 race:
 	$(GO) test -race ./internal/exp/... ./internal/dist/... ./internal/chaos/... \
 		./internal/fleet/... ./internal/core/... ./internal/timing/... \
-		./internal/stats/... ./cmd/...
+		./internal/mem/... ./internal/stats/... ./cmd/...
 
 # fuzz runs the journal/distributed-result codec fuzzer for a bounded time
 # (FUZZTIME to taste); CI runs the same thing for 10s on every push.
@@ -39,14 +39,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzWireResult -fuzztime $(FUZZTIME) -run '^$$' ./internal/exp
 
 # bench measures simulator throughput — the serial hot path (the PR 4
-# metric) and the CU-parallel loop (the PR 9 metric) side by side — and
-# archives both as JSON for cross-commit comparison. The parallel/serial
-# siminsts/s ratio is the intra-simulation speedup; it only exceeds 1 on a
-# multi-core host.
+# metric), the CU-parallel loop (the PR 9 metric), and the stacked
+# CU-parallel + banked-memory drain (the PR 10 metric), plus the
+# memory-bound ArrayBW serial/parallel pair the banked drain targets — and
+# archives all rows as JSON for cross-commit comparison. The parallel/serial
+# siminsts/s ratios are the intra-simulation speedups; they only exceed 1 on
+# a multi-core host.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput(Parallel)?$$' -benchtime 10x -benchmem . \
-		| $(GO) run ./cmd/ilsim-benchjson -out BENCH_PR9.json
-	@cat BENCH_PR9.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput(Parallel|MemParallel|MemBound(Parallel)?)?$$' -benchtime 10x -benchmem . \
+		| $(GO) run ./cmd/ilsim-benchjson -out BENCH_PR10.json
+	@cat BENCH_PR10.json
 
 # bench-sweep measures experiment-engine scheduling overhead.
 bench-sweep:

@@ -119,6 +119,7 @@ func run(args []string, out, errw io.Writer) error {
 	mutexProfile := fs.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	debugPprof := fs.Bool("pprof", false, "with -serve: expose net/http/pprof handlers on the coordinator's status mux")
 	cuPar := fs.Int("cu-par", 0, "goroutines per simulation for CU ticking (0 = auto: cores/-j, capped at NumCUs; 1 = serial; results identical)")
+	memPar := fs.Int("mem-par", 0, "goroutines per simulation for the memory drain's bank waves (0 = auto: cores/-j, capped at the drain width; 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,7 +186,8 @@ func run(args []string, out, errw io.Writer) error {
 		eng := exp.New(0)
 		eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
 		eng.CUParallelism = *cuPar
-		if msg := core.OversubscriptionWarning(slots, *cuPar); msg != "" {
+		eng.MemParallelism = *memPar
+		if msg := core.OversubscriptionWarning(slots, *cuPar, *memPar); msg != "" {
 			fmt.Fprintln(errw, "ilsim-sweep:", msg)
 		}
 		w := &dist.Worker{Coordinator: *connect, Slots: slots, Engine: eng,
@@ -287,7 +289,8 @@ func run(args []string, out, errw io.Writer) error {
 		eng.Journal = journal
 		eng.OnProgress = onProgress
 		eng.CUParallelism = *cuPar
-		if msg := core.OversubscriptionWarning(*workers, *cuPar); msg != "" {
+		eng.MemParallelism = *memPar
+		if msg := core.OversubscriptionWarning(*workers, *cuPar, *memPar); msg != "" {
 			fmt.Fprintln(errw, "ilsim-sweep:", msg)
 		}
 		runner = eng

@@ -84,6 +84,7 @@ func run(args []string, out, errw io.Writer) error {
 	fleetLabel := fs.String("fleet", "", "fleet label announced at join (set by ilsim-fleetd; empty = hand-launched)")
 	slots := fs.Int("j", 0, "concurrent execution slots (0 = GOMAXPROCS)")
 	cuPar := fs.Int("cu-par", 0, "goroutines per simulation for CU ticking (0 = auto: cores/-j, capped at NumCUs; 1 = serial; results identical)")
+	memPar := fs.Int("mem-par", 0, "goroutines per simulation for the memory drain's bank waves (0 = auto: cores/-j, capped at the drain width; 1 = serial; results identical)")
 	retries := fs.Int("retries", 0, "local retries per transiently failing job")
 	window := fs.Duration("window", 2*time.Minute, "how long to retry an unreachable coordinator before giving up")
 	bundle := fs.Duration("bundle", 0, "cap this worker's lease bundles at this much estimated work (0 = accept the coordinator's target)")
@@ -138,7 +139,8 @@ func run(args []string, out, errw io.Writer) error {
 	eng := exp.New(0)
 	eng.Retry = exp.RetryPolicy{MaxRetries: *retries}
 	eng.CUParallelism = *cuPar
-	if msg := core.OversubscriptionWarning(*slots, *cuPar); msg != "" {
+	eng.MemParallelism = *memPar
+	if msg := core.OversubscriptionWarning(*slots, *cuPar, *memPar); msg != "" {
 		fmt.Fprintln(errw, "ilsim-workerd:", msg)
 	}
 	w := &dist.Worker{

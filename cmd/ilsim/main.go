@@ -62,6 +62,7 @@ func run(args []string, out, errw io.Writer) error {
 	mutexProfile := fs.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	noSkip := fs.Bool("noskip", false, "disable cycle skipping (tick every cycle; identical results, for verification)")
 	cuPar := fs.Int("cu-par", 0, "goroutines per simulation for CU ticking (0 = auto: cores/-j, capped at NumCUs; 1 = serial; results identical)")
+	memPar := fs.Int("mem-par", 0, "goroutines per simulation for the memory drain's bank waves (0 = auto: cores/-j, capped at the drain width; 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,8 +107,8 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	opts := core.RunOptions{TrackValues: *values, ValueSampleEvery: 4, TrackReuse: *reuse,
 		MaxCycles: *maxCycles, DisableCycleSkipping: *noSkip,
-		CUParallelism: *cuPar}
-	warnOversubscription(errw, *workers, *cuPar)
+		CUParallelism: *cuPar, MemParallelism: *memPar}
+	warnOversubscription(errw, *workers, *cuPar, *memPar)
 
 	var targets []core.Abstraction
 	switch *abs {
@@ -130,6 +131,7 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	eng := exp.New(*workers)
 	eng.CUParallelism = *cuPar
+	eng.MemParallelism = *memPar
 	if *verbose {
 		eng.OnProgress = func(p exp.Progress) { fmt.Fprintln(errw, p.Line()) }
 	}
@@ -305,11 +307,12 @@ func jsonReport(runs []*stats.Run, scale int) map[string]any {
 	return out
 }
 
-// warnOversubscription tells the user when an explicit -cu-par setting
-// multiplied by the job-level pool exceeds the host's cores. The setting is
-// still honored (results are identical, only wall-clock suffers).
-func warnOversubscription(errw io.Writer, workers, cuPar int) {
-	if msg := core.OversubscriptionWarning(workers, cuPar); msg != "" {
+// warnOversubscription tells the user when an explicit -cu-par or -mem-par
+// setting multiplied by the job-level pool exceeds the host's cores. The
+// settings are still honored (results are identical, only wall-clock
+// suffers).
+func warnOversubscription(errw io.Writer, workers, cuPar, memPar int) {
+	if msg := core.OversubscriptionWarning(workers, cuPar, memPar); msg != "" {
 		fmt.Fprintln(errw, "ilsim:", msg)
 	}
 }

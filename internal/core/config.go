@@ -39,6 +39,10 @@ type Config struct {
 	// for read-write data is approximated as write-back).
 	L2Size int
 	L2Ways int
+	// L2Banks set-interleaves the L2 into independent banks, each with its
+	// own request port; with DRAM channels they are the units the phase-2
+	// drain can service in parallel (-mem-par).
+	L2Banks int
 	// DRAMChannels / DRAMLatency / DRAMOccupancy: memory channels and
 	// per-access timing in GPU cycles.
 	DRAMChannels  int
@@ -70,7 +74,7 @@ func DefaultConfig() Config {
 		// L1 instruction cache size of 16KB" — the text's 16KB governs.
 		L1ISize: 16 << 10, L1IWays: 8,
 		ScalarL1Size: 32 << 10, ScalarL1Ways: 8,
-		L2Size: 512 << 10, L2Ways: 16,
+		L2Size: 512 << 10, L2Ways: 16, L2Banks: 8,
 		DRAMChannels: 32, DRAMLatency: 160, DRAMOccupancy: 4,
 
 		L1HitLatency: 16, L2HitLatency: 64, ScalarHitLatency: 16,
@@ -91,14 +95,33 @@ func (c Config) Validate() error {
 	if c.DRAMChannels <= 0 {
 		return fmt.Errorf("core: need at least one DRAM channel")
 	}
+	if c.L2Banks < 0 {
+		return fmt.Errorf("core: negative L2 bank count")
+	}
 	return nil
+}
+
+// DrainWidth returns the widest phase-2 drain wave this configuration
+// produces — level-1 cache banks (per-CU L1Ds plus the per-4-CU I- and
+// scalar caches), L2 banks, or DRAM channels — which is the useful upper
+// bound on -mem-par.
+func (c Config) DrainWidth() int {
+	nShared := (c.NumCUs + 3) / 4
+	w := c.NumCUs + 2*nShared
+	if c.L2Banks > w {
+		w = c.L2Banks
+	}
+	if c.DRAMChannels > w {
+		w = c.DRAMChannels
+	}
+	return w
 }
 
 // String summarizes the configuration in a Table 4-like block.
 func (c Config) String() string {
 	return fmt.Sprintf(
 		"%d CUs @ %d MHz, %d SIMDs/CU, %d WF slots, %d VRF banks\n"+
-			"L1D %dKB, I$ %dKB/4CUs, sL1 %dKB/4CUs, L2 %dKB, DRAM %d ch",
+			"L1D %dKB, I$ %dKB/4CUs, sL1 %dKB/4CUs, L2 %dKB x%d banks, DRAM %d ch",
 		c.NumCUs, c.GPUClockMHz, c.SIMDsPerCU, c.WFSlots, c.VRFBanks,
-		c.L1DSize>>10, c.L1ISize>>10, c.ScalarL1Size>>10, c.L2Size>>10, c.DRAMChannels)
+		c.L1DSize>>10, c.L1ISize>>10, c.ScalarL1Size>>10, c.L2Size>>10, c.L2Banks, c.DRAMChannels)
 }

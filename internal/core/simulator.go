@@ -30,6 +30,16 @@ type RunOptions struct {
 	// GOMAXPROCS) for a lone simulation; 1 forces the serial loop.
 	CUParallelism int
 
+	// MemParallelism shards the phase-2 memory drain's bank waves — L1
+	// banks, then L2 banks, then DRAM channels — across this many pool
+	// goroutines (statistics stay byte-identical at every setting; the
+	// determinism suite pins it). 0 resolves via ResolveMemParallelism
+	// against Config.DrainWidth(); 1 forces the serial drain. The pool is
+	// shared with CU ticking and the phases never overlap, so a
+	// simulation's peak concurrency is max(CUParallelism, MemParallelism),
+	// not their sum.
+	MemParallelism int
+
 	// MaxCycles bounds the run's total simulated cycles (0 = unlimited);
 	// exceeding it aborts with ErrBudgetExceeded. This is the defense
 	// against livelocked or runaway simulations: the budget is enforced
@@ -79,21 +89,55 @@ func ResolveCUParallelism(requested, numCUs, activeJobs int) int {
 	return per
 }
 
+// ResolveMemParallelism turns a requested drain-parallelism setting into an
+// effective worker count, mirroring ResolveCUParallelism: an explicit request
+// (>0) is honored up to width (the configuration's DrainWidth — the widest
+// bank wave, beyond which extra workers can never find a task); auto (<=0)
+// divides GOMAXPROCS across activeJobs concurrent simulations.
+func ResolveMemParallelism(requested, width, activeJobs int) int {
+	if width < 1 {
+		width = 1
+	}
+	if requested > 0 {
+		if requested > width {
+			return width
+		}
+		return requested
+	}
+	if activeJobs < 1 {
+		activeJobs = 1
+	}
+	per := runtime.GOMAXPROCS(0) / activeJobs
+	if per > width {
+		per = width
+	}
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // OversubscriptionWarning returns a human-readable warning when an explicit
-// CU-parallelism request multiplied by the job-level worker pool exceeds the
-// host's cores, or "" when the combination is fine (or auto-resolved).
+// intra-simulation parallelism request multiplied by the job-level worker
+// pool exceeds the host's cores, or "" when the combination is fine (or
+// auto-resolved). A simulation's peak concurrency is max(cuPar, memPar) —
+// the phase-1 tick and phase-2 drain share one pool and never overlap.
 // jobWorkers <= 0 means GOMAXPROCS, matching the sweep engines' -j default.
-func OversubscriptionWarning(jobWorkers, cuPar int) string {
-	if cuPar <= 1 {
+func OversubscriptionWarning(jobWorkers, cuPar, memPar int) string {
+	intra := cuPar
+	if memPar > intra {
+		intra = memPar
+	}
+	if intra <= 1 {
 		return ""
 	}
 	if jobWorkers <= 0 {
 		jobWorkers = runtime.GOMAXPROCS(0)
 	}
 	cores := runtime.GOMAXPROCS(0)
-	if total := jobWorkers * cuPar; total > cores {
-		return fmt.Sprintf("-j %d x -cu-par %d = %d goroutines oversubscribes %d cores; results are identical but wall-clock may suffer (use -cu-par 0 to auto-budget)",
-			jobWorkers, cuPar, total, cores)
+	if total := jobWorkers * intra; total > cores {
+		return fmt.Sprintf("-j %d x max(-cu-par %d, -mem-par %d) = %d goroutines oversubscribes %d cores; results are identical but wall-clock may suffer (use -cu-par 0 / -mem-par 0 to auto-budget)",
+			jobWorkers, cuPar, memPar, total, cores)
 	}
 	return ""
 }
@@ -122,7 +166,7 @@ func (s *Simulator) params() timing.Params {
 	p.L1DSize, p.L1DWays = c.L1DSize, c.L1DWays
 	p.L1ISize, p.L1IWays = c.L1ISize, c.L1IWays
 	p.ScalarL1Size, p.ScalarL1Ways = c.ScalarL1Size, c.ScalarL1Ways
-	p.L2Size, p.L2Ways = c.L2Size, c.L2Ways
+	p.L2Size, p.L2Ways, p.L2Banks = c.L2Size, c.L2Ways, c.L2Banks
 	p.L1HitLatency, p.L2HitLatency = c.L1HitLatency, c.L2HitLatency
 	p.ScalarHitLatency = c.ScalarHitLatency
 	p.LDSLatency = c.LDSLatency
@@ -154,6 +198,7 @@ func (s *Simulator) RunContext(ctx context.Context, abs Abstraction, workload st
 	gpu := timing.NewGPU(s.params(), run)
 	gpu.Mem = m.Ctx.Mem
 	gpu.Parallelism = ResolveCUParallelism(opts.CUParallelism, s.Cfg.NumCUs, 1)
+	gpu.MemParallelism = ResolveMemParallelism(opts.MemParallelism, s.Cfg.DrainWidth(), 1)
 	defer gpu.Stop()
 	wd := timing.Watchdog{
 		MaxCycles:  int64(opts.MaxCycles),

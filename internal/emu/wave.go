@@ -296,4 +296,3 @@ type Forker interface {
 	// their compute units concurrently.
 	SharedAtomics() bool
 }
-

@@ -58,12 +58,13 @@ func (j Job) String() string {
 // the job's result — the identity the journal keys completed work by, in
 // the same spirit as stats.Run.Fingerprint() on the result side. Two jobs
 // with equal fingerprints would (determinism guarantee) produce
-// byte-identical runs. CUParallelism is excluded: it is an execution knob
-// with byte-identical results at every setting, so a journal written on a
-// 32-core host must resume cleanly on a laptop.
+// byte-identical runs. CUParallelism and MemParallelism are excluded: they
+// are execution knobs with byte-identical results at every setting, so a
+// journal written on a 32-core host must resume cleanly on a laptop.
 func (j Job) Fingerprint() string {
 	opts := j.Opts
 	opts.CUParallelism = 0
+	opts.MemParallelism = 0
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%d|%s|%v|%t|%+v|%+v",
 		j.Label, j.Workload, j.Scale, j.Abs, j.Timeout, j.SkipCheck, j.Config, opts)
@@ -230,6 +231,11 @@ type Engine struct {
 	// engine's worker count so the two parallelism levels share the
 	// machine instead of oversubscribing it.
 	CUParallelism int
+
+	// MemParallelism is the same host-level override for the phase-2
+	// memory-drain parallelism (core.RunOptions.MemParallelism), excluded
+	// from job fingerprints for the same reason.
+	MemParallelism int
 
 	cacheOnce sync.Once
 	cache     *InstanceCache
@@ -456,6 +462,11 @@ func (e *Engine) runJob(ctx context.Context, job Job, attempt int) (run *stats.R
 		// jobs, so -j and intra-simulation parallelism multiply to
 		// roughly GOMAXPROCS instead of compounding.
 		opts.CUParallelism = core.ResolveCUParallelism(0, job.Config.NumCUs, e.workers())
+	}
+	if e.MemParallelism != 0 {
+		opts.MemParallelism = e.MemParallelism
+	} else if opts.MemParallelism <= 0 {
+		opts.MemParallelism = core.ResolveMemParallelism(0, job.Config.DrainWidth(), e.workers())
 	}
 	run, m, err := sim.RunContext(ctx, job.Abs, job.Workload, inst.Setup, opts)
 	if err != nil {

@@ -1,0 +1,325 @@
+package mem
+
+import "fmt"
+
+// Executor runs n independent tasks, indexed 0..n-1, and returns when all
+// have finished. The timing layer injects its worker pool through this so
+// the drain can shard bank waves without depending on package timing; nil
+// means run serially in index order. Tasks within one wave touch disjoint
+// state, so any execution order (or interleaving) produces identical
+// results — the executor choice affects wall clock only.
+type Executor func(n int, run func(int))
+
+func serialExec(n int, run func(int)) {
+	for i := 0; i < n; i++ {
+		run(i)
+	}
+}
+
+// downJob is one access descending into a lower level: enqueued by an upper
+// bank's wave into the lower bank's input bucket instead of calling through,
+// which is what turns the drain into a pipeline of bank waves. done is
+// written by the level that services the job.
+type downJob struct {
+	addr  uint64
+	write bool
+	at    int64
+	done  int64
+}
+
+// pendFill is an upper bank's bookkeeping for one miss it sent below:
+// where the fill's completion lands (sink), which down bucket holds the
+// fill's job (bank/idx — indices, not pointers, because the bucket may
+// still grow while this level's wave runs), the request's arrival cycle
+// (for latency accounting) and a dirty victim to write back once the fill
+// completes.
+type pendFill struct {
+	sink       *int64
+	bank       int32
+	idx        int32
+	at         int64
+	victimAddr uint64
+	victimWB   bool
+}
+
+// drainTask is one bank of one level: the unit of phase-2 parallelism.
+// Exactly one worker runs a task per wave, so everything here is private to
+// that worker for the wave's duration.
+type drainTask struct {
+	cache *Cache // nil for DRAM-channel tasks
+	bank  int
+	lower Banked
+	// srcs are level-1 inputs: each entry points at one request buffer's
+	// bucket for (cache, bank), in buffer registration order (CU order).
+	srcs []*[]lineReq
+	// jobs are lower-level inputs: each entry points at one upper task's
+	// down bucket for this bank, in upper-task order.
+	jobs []*[]downJob
+	// down holds this task's per-lower-bank output buckets.
+	down [][]downJob
+	pend []pendFill
+}
+
+// DrainSource is one request producer (a CU): its routed buffer and the
+// callback that receives each request's (tag, ready) completion.
+type DrainSource struct {
+	Buf      *RequestBuffer
+	Complete func(tag int, ready int64)
+}
+
+// Drain replays deferred cache accesses through a banked two-level
+// hierarchy as a pipeline of bank waves:
+//
+//	wave 1 — every level-1 (per-CU L1D, shared L1I/sL1) bank replays its
+//	         bucketed requests in (source, append) order against private
+//	         bank state, depositing misses and posted writes into
+//	         per-L2-bank output buckets;
+//	wave 2 — every L2 bank replays its deposited jobs in (level-1 task,
+//	         append) order, depositing misses into per-DRAM-channel
+//	         buckets;
+//	wave 3 — every DRAM channel replays its jobs.
+//
+// A barrier separates the waves; within a wave, tasks touch disjoint bank
+// state and write completions only into their own inputs, so the waves may
+// run on any number of workers with byte-identical results. After the
+// waves, two serial finalize passes (L2 first, then level 1) resolve miss
+// completions upward, charge miss latency, and apply dirty-victim
+// write-backs; a final serial reduction folds per-line completions into
+// per-request ready cycles and invokes each source's completion callback in
+// (source, request) order. A steady-state Flush allocates nothing once the
+// buckets have grown to their working size.
+type Drain struct {
+	l2    *Cache
+	dram  *DRAM
+	l1T   []drainTask
+	l2T   []drainTask
+	drT   []drainTask
+	srcs  []DrainSource
+	now   int64
+	runL1 func(int)
+	runL2 func(int)
+	runDR func(int)
+}
+
+// NewDrain wires the pipeline. l1s lists every level-1 cache in replay
+// order (this order, with source order within a bank, defines the
+// deterministic L2 replay order); srcs lists the request producers in
+// completion order (CU index order). Every l1 must sit directly above l2,
+// and l2 directly above dram; every destination registered in a source
+// buffer must appear in l1s. Buffers must have all destinations registered
+// before NewDrain (the drain captures bucket pointers).
+func NewDrain(l1s []*Cache, srcs []DrainSource, l2 *Cache, dram *DRAM) *Drain {
+	if l2.lower != Level(dram) {
+		panic("mem: NewDrain: l2 is not directly above dram")
+	}
+	d := &Drain{l2: l2, dram: dram, srcs: srcs}
+	for _, c := range l1s {
+		if c.lower != Level(l2) {
+			panic(fmt.Sprintf("mem: NewDrain: %s is not directly above %s", c.Name, l2.Name))
+		}
+		for bank := 0; bank < c.NumBanks(); bank++ {
+			t := drainTask{cache: c, bank: bank, lower: l2,
+				down: make([][]downJob, l2.NumBanks())}
+			for si := range srcs {
+				buf := srcs[si].Buf
+				for di := range buf.dests {
+					if buf.dests[di].cache == c {
+						t.srcs = append(t.srcs, &buf.dests[di].buckets[bank])
+					}
+				}
+			}
+			d.l1T = append(d.l1T, t)
+		}
+	}
+	for _, s := range srcs {
+		for di := range s.Buf.dests {
+			if !containsCache(l1s, s.Buf.dests[di].cache) {
+				panic(fmt.Sprintf("mem: NewDrain: destination %s not in level-1 list",
+					s.Buf.dests[di].cache.Name))
+			}
+		}
+	}
+	for bank := 0; bank < l2.NumBanks(); bank++ {
+		t := drainTask{cache: l2, bank: bank, lower: dram,
+			down: make([][]downJob, dram.NumBanks())}
+		for i := range d.l1T {
+			t.jobs = append(t.jobs, &d.l1T[i].down[bank])
+		}
+		d.l2T = append(d.l2T, t)
+	}
+	for ch := 0; ch < dram.NumBanks(); ch++ {
+		t := drainTask{bank: ch}
+		for i := range d.l2T {
+			t.jobs = append(t.jobs, &d.l2T[i].down[ch])
+		}
+		d.drT = append(d.drT, t)
+	}
+	d.runL1 = d.procL1
+	d.runL2 = d.procL2
+	d.runDR = d.procDRAM
+	return d
+}
+
+func containsCache(cs []*Cache, c *Cache) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxWave returns the widest wave's task count — the useful upper bound on
+// drain parallelism.
+func (d *Drain) MaxWave() int {
+	w := len(d.l1T)
+	if len(d.l2T) > w {
+		w = len(d.l2T)
+	}
+	if len(d.drT) > w {
+		w = len(d.drT)
+	}
+	return w
+}
+
+// Pending returns the number of routed line accesses waiting across all
+// sources.
+func (d *Drain) Pending() int {
+	n := 0
+	for _, s := range d.srcs {
+		n += s.Buf.lines
+	}
+	return n
+}
+
+// procCache replays one cache bank's inputs: level-1 buckets first (only
+// level-1 tasks have any), then lower-level job buckets, both in wiring
+// order. Misses and posted writes are deposited into the lower bank's
+// bucket; completions that are already known land immediately.
+func (d *Drain) procCache(t *drainTask) {
+	c := t.cache
+	b := &c.banks[t.bank]
+	for k := range t.down {
+		t.down[k] = t.down[k][:0]
+	}
+	t.pend = t.pend[:0]
+	for _, sp := range t.srcs {
+		src := *sp
+		for j := range src {
+			lr := &src[j]
+			d.apply(t, c, b, lr.line, lr.write, d.now, &lr.done)
+		}
+	}
+	for _, jp := range t.jobs {
+		js := *jp
+		for j := range js {
+			jb := &js[j]
+			d.apply(t, c, b, jb.addr, jb.write, jb.at, &jb.done)
+		}
+	}
+}
+
+func (d *Drain) apply(t *drainTask, c *Cache, b *cacheBank, addr uint64, write bool, at int64, sink *int64) {
+	a := c.bankAccess(b, addr, write, at)
+	if a.fill {
+		lb := t.lower.BankOf(a.downAddr)
+		t.down[lb] = append(t.down[lb], downJob{addr: a.downAddr, at: a.downAt})
+		t.pend = append(t.pend, pendFill{sink: sink,
+			bank: int32(lb), idx: int32(len(t.down[lb]) - 1), at: at,
+			victimAddr: a.victimAddr, victimWB: a.victimWB})
+		return
+	}
+	*sink = a.done
+	if a.post {
+		lb := t.lower.BankOf(a.downAddr)
+		t.down[lb] = append(t.down[lb],
+			downJob{addr: a.downAddr, write: true, at: a.downAt, done: a.downAt})
+	}
+}
+
+func (d *Drain) procL1(i int) { d.procCache(&d.l1T[i]) }
+func (d *Drain) procL2(i int) { d.procCache(&d.l2T[i]) }
+
+func (d *Drain) procDRAM(i int) {
+	t := &d.drT[i]
+	for _, jp := range t.jobs {
+		js := *jp
+		for j := range js {
+			jb := &js[j]
+			jb.done = d.dram.bankAccess(t.bank, jb.write, jb.at)
+		}
+	}
+}
+
+// finalizeLevel resolves one level's pending fills after the lower waves
+// ran: copy each fill's completion into its sink, charge the miss latency
+// to the bank shard, and apply dirty-victim write-backs (posted at the
+// fill's completion, replayed here serially in task/pend order).
+func (d *Drain) finalizeLevel(tasks []drainTask) {
+	for i := range tasks {
+		t := &tasks[i]
+		b := &t.cache.banks[t.bank]
+		for _, p := range t.pend {
+			done := t.down[p.bank][p.idx].done
+			b.stats.LatencySum += uint64(done - p.at)
+			*p.sink = done
+			if p.victimWB {
+				t.cache.lower.Access(p.victimAddr, true, done)
+			}
+		}
+	}
+}
+
+// reduce folds per-line completions back into per-request ready cycles and
+// invokes each source's completion callback in (source, request) order,
+// then resets the buffers.
+func (d *Drain) reduce() {
+	for _, s := range d.srcs {
+		buf := s.Buf
+		if len(buf.reqs) == 0 {
+			continue
+		}
+		for i := range buf.reqs {
+			buf.reqs[i].ready = d.now
+		}
+		for di := range buf.dests {
+			dst := &buf.dests[di]
+			for _, bucket := range dst.buckets {
+				for j := range bucket {
+					lr := &bucket[j]
+					if r := &buf.reqs[lr.req]; lr.done > r.ready {
+						r.ready = lr.done
+					}
+				}
+			}
+		}
+		for i := range buf.reqs {
+			s.Complete(buf.reqs[i].tag, buf.reqs[i].ready)
+		}
+		buf.Reset()
+	}
+}
+
+// Flush drains every pending request at cycle now: three bank waves
+// (level 1, L2, DRAM) on exec, then the serial finalize and reduction
+// passes. exec == nil runs the waves serially; results are byte-identical
+// either way.
+func (d *Drain) Flush(now int64, exec Executor) {
+	nreq := 0
+	for _, s := range d.srcs {
+		nreq += len(s.Buf.reqs)
+	}
+	if nreq == 0 {
+		return
+	}
+	d.now = now
+	if exec == nil {
+		exec = serialExec
+	}
+	exec(len(d.l1T), d.runL1)
+	exec(len(d.l2T), d.runL2)
+	exec(len(d.drT), d.runDR)
+	d.finalizeLevel(d.l2T)
+	d.finalizeLevel(d.l1T)
+	d.reduce()
+}

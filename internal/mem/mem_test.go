@@ -95,41 +95,41 @@ func TestAllocatorAlignmentAndExhaustion(t *testing.T) {
 }
 
 func TestCacheHitMissBasics(t *testing.T) {
-	dram := NewDRAM(4, 100, 4)
-	c := NewCache("L1", 1024, 64, 2, 4, false, dram)
+	dram := NewDRAM(4, 64, 100, 4)
+	c := NewCache("L1", 1024, 64, 2, 4, false, dram, 1)
 	// First access misses, second hits.
 	d1 := c.Access(0x1000, false, 0)
-	if c.Stats.Misses != 1 || d1 <= 4 {
-		t.Fatalf("first access: misses=%d done=%d", c.Stats.Misses, d1)
+	if c.Stats().Misses != 1 || d1 <= 4 {
+		t.Fatalf("first access: misses=%d done=%d", c.Stats().Misses, d1)
 	}
 	d2 := c.Access(0x1000, false, d1)
-	if c.Stats.Hits != 1 || d2 != d1+4+1 && d2 != d1+4 {
-		t.Fatalf("second access: hits=%d done=%d (start %d)", c.Stats.Hits, d2, d1)
+	if c.Stats().Hits != 1 || d2 != d1+4+1 && d2 != d1+4 {
+		t.Fatalf("second access: hits=%d done=%d (start %d)", c.Stats().Hits, d2, d1)
 	}
 }
 
 func TestCacheLRUEviction(t *testing.T) {
 	// Direct construction: 2 ways, 1 set (128B cache, 64B lines).
-	c := NewCache("tiny", 128, 64, 2, 1, false, nil)
+	c := NewCache("tiny", 128, 64, 2, 1, false, nil, 1)
 	c.Access(0*64, false, 0)   // A
 	c.Access(1*64*2, false, 1) // B maps to same set? sets=1, so yes
 	c.Access(0*64, false, 2)   // A again: hit
-	if c.Stats.Hits != 1 {
-		t.Fatalf("expected A to still be resident, hits=%d", c.Stats.Hits)
+	if c.Stats().Hits != 1 {
+		t.Fatalf("expected A to still be resident, hits=%d", c.Stats().Hits)
 	}
 	c.Access(4*64, false, 3) // C evicts LRU (B)
 	c.Access(0*64, false, 4) // A still resident
-	if c.Stats.Hits != 2 {
-		t.Fatalf("LRU evicted the wrong line, hits=%d", c.Stats.Hits)
+	if c.Stats().Hits != 2 {
+		t.Fatalf("LRU evicted the wrong line, hits=%d", c.Stats().Hits)
 	}
 	c.Access(1*64*2, false, 5) // B was evicted: miss
-	if c.Stats.Misses != 4 {
-		t.Fatalf("misses=%d, want 4", c.Stats.Misses)
+	if c.Stats().Misses != 4 {
+		t.Fatalf("misses=%d, want 4", c.Stats().Misses)
 	}
 }
 
 func TestCacheFullyAssociative(t *testing.T) {
-	c := NewCache("fa", 16<<10, 64, 0, 16, false, nil)
+	c := NewCache("fa", 16<<10, 64, 0, 16, false, nil, 1)
 	// 256 lines fit exactly; touching 256 distinct lines then re-touching
 	// them all must be all hits.
 	for i := 0; i < 256; i++ {
@@ -138,30 +138,30 @@ func TestCacheFullyAssociative(t *testing.T) {
 	for i := 0; i < 256; i++ {
 		c.Access(uint64(i*64), false, int64(256+i))
 	}
-	if c.Stats.Hits != 256 || c.Stats.Misses != 256 {
-		t.Fatalf("hits=%d misses=%d, want 256/256", c.Stats.Hits, c.Stats.Misses)
+	if c.Stats().Hits != 256 || c.Stats().Misses != 256 {
+		t.Fatalf("hits=%d misses=%d, want 256/256", c.Stats().Hits, c.Stats().Misses)
 	}
 }
 
 func TestWriteThroughVsWriteBack(t *testing.T) {
-	dram := NewDRAM(1, 10, 1)
-	wt := NewCache("wt", 1024, 64, 2, 1, false, dram)
+	dram := NewDRAM(1, 64, 10, 1)
+	wt := NewCache("wt", 1024, 64, 2, 1, false, dram, 1)
 	wt.Access(0, true, 0) // write miss, write-through no-allocate
 	wt.Access(0, false, 1)
-	if wt.Stats.Hits != 0 {
+	if wt.Stats().Hits != 0 {
 		t.Fatal("write-through no-allocate must not fill on write miss")
 	}
-	dram2 := NewDRAM(1, 10, 1)
-	wb := NewCache("wb", 1024, 64, 2, 1, true, dram2)
+	dram2 := NewDRAM(1, 64, 10, 1)
+	wb := NewCache("wb", 1024, 64, 2, 1, true, dram2, 1)
 	wb.Access(0, true, 0) // write miss, allocate
 	wb.Access(0, false, 20)
-	if wb.Stats.Hits != 1 {
+	if wb.Stats().Hits != 1 {
 		t.Fatal("write-back must allocate on write miss")
 	}
 }
 
 func TestDRAMChannelContention(t *testing.T) {
-	d := NewDRAM(2, 100, 10)
+	d := NewDRAM(2, 64, 100, 10)
 	// Two requests to the same channel queue; different channels do not.
 	a := d.Access(0, false, 0)   // channel 0
 	b := d.Access(128, false, 0) // channel 0 again (line 2 % 2 == 0)
@@ -205,14 +205,14 @@ func TestCoalesceAgainstBruteForce(t *testing.T) {
 }
 
 func TestCacheReset(t *testing.T) {
-	c := NewCache("r", 1024, 64, 2, 1, false, nil)
+	c := NewCache("r", 1024, 64, 2, 1, false, nil, 1)
 	c.Access(0, false, 0)
 	c.Reset()
-	if c.Stats.Accesses != 0 {
+	if c.Stats().Accesses != 0 {
 		t.Fatal("stats not reset")
 	}
 	c.Access(0, false, 0)
-	if c.Stats.Misses != 1 {
+	if c.Stats().Misses != 1 {
 		t.Fatal("contents not reset")
 	}
 }

@@ -1,68 +1,100 @@
 package mem
 
-// Request is one deferred cache access: the line set a compute unit wants
-// to send into the hierarchy, recorded during a parallel phase and applied
-// later under a deterministic order. Lines may be nil for the common
-// single-line case (Line0 holds it), which lets fetch requests defer
-// without materializing a slice.
-type Request struct {
-	Cache *Cache
-	Line0 uint64
-	Lines []uint64
-	Write bool
-	// Tag is caller-defined routing state (typically an index into the
-	// caller's parallel metadata), handed back verbatim on completion.
-	Tag int
+// lineReq is one routed line access sitting in a destination bank's bucket:
+// the line address, the write flag, the index of the owning request in the
+// buffer's request table, and — written by the drain — its completion cycle.
+type lineReq struct {
+	line  uint64
+	write bool
+	req   int32
+	done  int64
+}
+
+// dest is one cache a buffer routes into: per-bank buckets so that routing
+// happens at append time, inside the parallel phase, and the drain can hand
+// each bank its inputs without any further sorting.
+type dest struct {
+	cache   *Cache
+	buckets [][]lineReq
+}
+
+// request is the buffer-side record of one deferred access: the caller's
+// tag and the max-reduced completion cycle of its lines.
+type request struct {
+	tag   int
+	ready int64
 }
 
 // RequestBuffer is an append-only, replayable queue of deferred cache
-// accesses. The parallel timing core gives each compute unit one buffer:
-// phase 1 appends requests in the exact order the serial model would have
-// issued them, phase 2 drains buffers in CU-index order, so the shared
-// hierarchy (ports, LRU state, miss counters) evolves byte-identically to
-// the serial interleaving. Reset keeps capacity, so a steady-state
-// tick/drain cycle allocates nothing.
+// accesses, routed to destination banks as it is appended. The parallel
+// timing core gives each compute unit one buffer: phase 1 appends requests
+// in the exact order the serial model would have issued them, bucketing each
+// line by (destination cache, bank); phase 2 (Drain.Flush) replays every
+// bank's bucket sequence in (CU index, append order), so each bank's
+// port/LRU/miss-counter state evolves deterministically regardless of which
+// goroutine services it. Reset keeps capacity, so a steady-state tick/drain
+// cycle allocates nothing.
+//
+// All Register calls must precede Drain construction (the drain captures
+// pointers to the per-bank buckets).
 type RequestBuffer struct {
-	reqs []Request
+	dests []dest
+	reqs  []request
+	lines int
 }
 
-// AppendLine defers a single-line access.
-func (b *RequestBuffer) AppendLine(c *Cache, line uint64, write bool, tag int) {
-	b.reqs = append(b.reqs, Request{Cache: c, Line0: line, Write: write, Tag: tag})
+// Register adds a destination cache and returns its handle for AppendLine/
+// Append. Registering the same cache twice returns the same handle.
+func (b *RequestBuffer) Register(c *Cache) int {
+	for i := range b.dests {
+		if b.dests[i].cache == c {
+			return i
+		}
+	}
+	b.dests = append(b.dests, dest{cache: c, buckets: make([][]lineReq, c.NumBanks())})
+	return len(b.dests) - 1
 }
 
-// Append defers a multi-line access. The slice is held until Drain, not
-// copied: callers reusing coalescing scratch must not overwrite it before
-// draining (the timing model's one-issue-per-wave-per-cycle invariant
-// guarantees that).
-func (b *RequestBuffer) Append(c *Cache, lines []uint64, write bool, tag int) {
-	b.reqs = append(b.reqs, Request{Cache: c, Lines: lines, Write: write, Tag: tag})
+// AppendLine defers a single-line access to destination d.
+func (b *RequestBuffer) AppendLine(d int, line uint64, write bool, tag int) {
+	dst := &b.dests[d]
+	bank := dst.cache.BankOf(line)
+	dst.buckets[bank] = append(dst.buckets[bank],
+		lineReq{line: line, write: write, req: int32(len(b.reqs))})
+	b.reqs = append(b.reqs, request{tag: tag})
+	b.lines++
+}
+
+// Append defers a multi-line access to destination d. Lines are copied into
+// the per-bank buckets, so the caller's slice (typically coalescing scratch)
+// may be reused immediately. Cross-bank lines of one request max-reduce
+// their completion cycles back into a single ready cycle at drain time.
+func (b *RequestBuffer) Append(d int, lines []uint64, write bool, tag int) {
+	dst := &b.dests[d]
+	ri := int32(len(b.reqs))
+	for _, line := range lines {
+		bank := dst.cache.BankOf(line)
+		dst.buckets[bank] = append(dst.buckets[bank],
+			lineReq{line: line, write: write, req: ri})
+	}
+	b.reqs = append(b.reqs, request{tag: tag})
+	b.lines += len(lines)
 }
 
 // Len returns the number of deferred requests.
 func (b *RequestBuffer) Len() int { return len(b.reqs) }
 
-// Reset empties the buffer, keeping its capacity.
-func (b *RequestBuffer) Reset() { b.reqs = b.reqs[:0] }
+// Lines returns the number of routed line accesses.
+func (b *RequestBuffer) Lines() int { return b.lines }
 
-// Drain applies every deferred request in append order at cycle now and
-// reports each request's completion cycle — the max over its lines, or now
-// for an empty line set — to complete along with its tag. The buffer is
-// reset afterwards.
-func (b *RequestBuffer) Drain(now int64, complete func(tag int, ready int64)) {
-	for i := range b.reqs {
-		r := &b.reqs[i]
-		ready := now
-		if r.Lines == nil {
-			ready = r.Cache.Access(r.Line0, r.Write, now)
-		} else {
-			for _, line := range r.Lines {
-				if done := r.Cache.Access(line, r.Write, now); done > ready {
-					ready = done
-				}
-			}
-		}
-		complete(r.Tag, ready)
-	}
+// Reset empties the buffer, keeping its capacity.
+func (b *RequestBuffer) Reset() {
 	b.reqs = b.reqs[:0]
+	for i := range b.dests {
+		d := &b.dests[i]
+		for k := range d.buckets {
+			d.buckets[k] = d.buckets[k][:0]
+		}
+	}
+	b.lines = 0
 }

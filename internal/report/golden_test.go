@@ -21,27 +21,33 @@ import (
 //
 // and paste the printed map — but only when a PR deliberately changes the
 // model, never for a speedup.
+//
+// Last epoch: the banked memory system (set-interleaved L2 banks with
+// per-bank ports, per-channel DRAM ports, and the level-wave drain's
+// bank-order replay of L2 victim write-backs) changes shared-cache timing;
+// the full grid of -cu-par x -mem-par settings stays byte-identical within
+// the new model (TestBankedMemoryDeterminism).
 var goldenFingerprints = map[string]string{
 	"ArrayBW/HSAIL":     "2c86e9d748245cdc3ae5192b1e68f7226d752313e606436fa9dc2f6b23d8821b",
 	"ArrayBW/GCN3":      "315bac5b3ce830cbcb714ec3c114e4575bf757a20cc5b942c255bc03ca9b1ab2",
 	"BitonicSort/HSAIL": "383120a02b3871d717e4747d31619d7c4c6fc8c88f8a2aad0a5fc0880f4c6f54",
-	"BitonicSort/GCN3":  "c5a0424cd71943a4271fdeced5c1f0e28b107b36c54658cfec25464b463610dc",
-	"CoMD/HSAIL":        "95b66f47206dda5b9e33caa5ec52267598fd1359fa863afd556c9306e7171e50",
-	"CoMD/GCN3":         "1dce36d232e4870be8ddb3c7648c1d34e76f7b81a508f062faa15613687250ca",
-	"FFT/HSAIL":         "c0312b31f343781dbe4c84b6af37c965f306861c1ecb2e251834a1a8ef80e97b",
-	"FFT/GCN3":          "e754b02cc470fab8266bf77253636c1533fba4f0f30ea7f1ea3bfb0becce362b",
-	"HPGMG/HSAIL":       "9b3e91c2a5eee49c317a71b1fdb7cf49d0c1fb5a11945e5b4990350c95185c11",
-	"HPGMG/GCN3":        "b8fb16286e9fa87132b687ff080f865dc35b58845a23e9d2e1c338b7c9997626",
-	"LULESH/HSAIL":      "6421d55d28157c2a99900dd1fec6fc362822ba74d65f3c50c78fe34b2573a95d",
-	"LULESH/GCN3":       "89c89954f49bd9a62670e17459d475dda82f2dca3788dab78c23aafba9e3eac4",
-	"MD/HSAIL":          "80868a44b64ca5ebe886c3d7d6f955abad28c78f79bcf2b9eee8ec14f0f3f354",
-	"MD/GCN3":           "de88a6d77e58ab111916c656c664ab6ccc3abef1399bb50c22abc68a6dd6f82b",
-	"SNAP/HSAIL":        "77183f679147bd8ba306471b9312d45b9684848113e71f4fe489c61453484f6e",
-	"SNAP/GCN3":         "c69def1e4c7a54b2242658735c62ea2236587472c3fce17d999076a392c25ceb",
-	"SpMV/HSAIL":        "d9922ab261f014a50f93aca15c6eee1dd1bc43c667025bd69a9b0c15b3ba3115",
+	"BitonicSort/GCN3":  "1368ca4ca2e2514b0811ea74c5ff0e728df9d091281afd92eb23f5b7a49b3488",
+	"CoMD/HSAIL":        "d2b92c184cdbc1d9634d7e5ea725f20e85448e046995dd290590940b83d32cef",
+	"CoMD/GCN3":         "b8ad7ed05f84289cef492a76dd562fa3d2356531422138c8a9ce5372357e988a",
+	"FFT/HSAIL":         "4bf9360def23d4aec6fd5709609c865e7f4198bcfc6d512d44e50434debd805b",
+	"FFT/GCN3":          "878bc6e8a1913dddff3f9cf34be67e9606336e35729d6ed81ffc36a2aef57e1f",
+	"HPGMG/HSAIL":       "960c8b75dc9862eb60972eb9b025627e799962653ddd7c39ee385f26867a55f4",
+	"HPGMG/GCN3":        "268d2fb6139d25c76d29b2ff2b41983575c05e7f268fce10e187623455c99b71",
+	"LULESH/HSAIL":      "933bacb5f7c8bec7c7fe6d2ea293db7cdb45cf2787fcc8fb875111781fbc1865",
+	"LULESH/GCN3":       "f791db2bb56c9091df47989e52ce3d264138a161c298e6d91fe4260a97f3017d",
+	"MD/HSAIL":          "5774a4fccd94a580aff664259b0bfb741b6e7eefbde594149abc5cbeafe0da91",
+	"MD/GCN3":           "08460c406b5308ab425227312e8106669ac93a56f65422fc9dad796c3a3ef5fc",
+	"SNAP/HSAIL":        "d8fe4003baffc0cc5dd46a08f22ed90b0839cf631991ce101b1dc6c04fff9d15",
+	"SNAP/GCN3":         "ad3c1eec98598d03ea7a94e11e3016dde944c7e1aacc35b8875664cf7c7e3ed1",
+	"SpMV/HSAIL":        "7b04b90a05a070c5c06ffe4372333aaa8c58d9c0131550590a5a01aa5bb110a0",
 	"SpMV/GCN3":         "7637385a25ff0dd5e12eb2ad1be82c08c2513f49ab30ed15088ce6e6df28da51",
-	"XSBench/HSAIL":     "f80412baf6177f23444d985efa0469cc3f2054ea9cf13365e49edac6307ae143",
-	"XSBench/GCN3":      "879cf05f806a5d57c31d1b9117d8a18dc84f2441ddd618486569d307f9bbf8cf",
+	"XSBench/HSAIL":     "39201326a68fe08c7fe4f4a17a107af9d3c73c65431725279504c091fb7b5737",
+	"XSBench/GCN3":      "c68c08d5d5c632edefd8006fe62bb918e84cf371d2023996fd551a6a6f8b5a86",
 }
 
 // TestGoldenFingerprints runs the full 10-workload suite under both

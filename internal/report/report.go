@@ -428,16 +428,19 @@ func (r *Results) Markdown(cfg core.Config) string {
 	b.WriteString("and resuming the coordinator re-leases only unfinished jobs, no matter\n")
 	b.WriteString("which machine ran the rest. Results assemble in submission order, making\n")
 	b.WriteString("the figures byte-identical to a single-machine run.\n\n")
-	b.WriteString("Two levels of parallelism stack: `-j` runs whole jobs concurrently and\n")
-	b.WriteString("`-cu-par` shards each simulation's compute-unit ticks across goroutines\n")
-	b.WriteString("(statistics are byte-identical at every setting — README \"Parallel\n")
-	b.WriteString("timing\"). The default `-cu-par 0` auto-budgets GOMAXPROCS/`-j` cores per\n")
-	b.WriteString("job so the product lands at roughly one goroutine per core. Prefer\n")
-	b.WriteString("raising `-j` while the queue is deeper than the host — job-level\n")
-	b.WriteString("parallelism carries no barrier overhead — and spend `-cu-par` when jobs\n")
-	b.WriteString("no longer outnumber cores: the tail of a campaign, or one big\n")
-	b.WriteString("simulation. Asking for `-j x -cu-par` beyond the core count is honored\n")
-	b.WriteString("but warned about.\n\n")
+	b.WriteString("Three levels of parallelism stack: `-j` runs whole jobs concurrently,\n")
+	b.WriteString("`-cu-par` shards each simulation's compute-unit ticks across goroutines,\n")
+	b.WriteString("and `-mem-par` shards its memory drain's bank waves (statistics are\n")
+	b.WriteString("byte-identical at every setting — README \"Parallel timing\"). The\n")
+	b.WriteString("defaults (`-cu-par 0` / `-mem-par 0`) auto-budget GOMAXPROCS/`-j` cores\n")
+	b.WriteString("per job so the product lands at roughly one goroutine per core; the two\n")
+	b.WriteString("intra-simulation knobs share one pool and never overlap, so a job's\n")
+	b.WriteString("peak concurrency is their max, not their sum. Prefer raising `-j` while\n")
+	b.WriteString("the queue is deeper than the host — job-level parallelism carries no\n")
+	b.WriteString("barrier overhead — and spend `-cu-par`/`-mem-par` when jobs no longer\n")
+	b.WriteString("outnumber cores: the tail of a campaign, or one big simulation. Asking\n")
+	b.WriteString("for `-j x max(-cu-par, -mem-par)` beyond the core count is honored but\n")
+	b.WriteString("warned about.\n\n")
 	fmt.Fprintf(&b, "Input scale: %d. Simulated configuration (Table 4):\n\n```\n%s\n```\n", r.Scale, cfg.String())
 	b.WriteString(r.PaperComparison())
 	b.WriteString(r.Fig1())
@@ -487,16 +490,22 @@ numbers, as the reproducible quantity.
 
 ` + "`BenchmarkSimulatorThroughputParallel`" + ` repeats the measurement with one
 goroutine per compute unit (` + "`-cu-par`" + `, the two-phase parallel timing
-loop); its siminsts/s ratio to the serial benchmark is the
-intra-simulation speedup and needs a multi-core host to exceed 1 — on a
-single core the pool costs a few percent of overhead and the serial
-fallback is the right setting. ` + "`make bench`" + ` re-measures both and
-archives the result as BENCH_PR9.json; the CI bench-smoke job does the
-same per commit and additionally gates on TestCycleSkippingDeterminism
-(skip-on vs skip-off fingerprint identity), TestParallelTimingDeterminism
-(every -cu-par setting must fingerprint identically to serial) and
-TestIssueStageNoAllocs (zero allocations in the steady-state two-phase
-cycle).
+loop), and ` + "`BenchmarkSimulatorThroughputMemParallel`" + ` stacks the banked
+memory drain on top (` + "`-mem-par`" + ` at the full drain width);
+` + "`BenchmarkSimulatorThroughputMemBound`" + `/` + "`...MemBoundParallel`" + ` repeat the
+serial-vs-stacked pair on ArrayBW, the memory-bound streaming workload
+the banked drain targets. Each parallel row's siminsts/s ratio to its
+serial baseline is the intra-simulation speedup and needs a multi-core
+host to exceed 1 — on a single core the pool costs a few percent of
+overhead and the serial fallback is the right setting. ` + "`make bench`" + `
+re-measures all rows and archives the result as BENCH_PR10.json; the CI
+bench-smoke job does the same per commit and additionally gates on
+TestCycleSkippingDeterminism (skip-on vs skip-off fingerprint identity),
+TestParallelTimingDeterminism (every -cu-par setting must fingerprint
+identically to serial), TestBankedMemoryDeterminism (every -cu-par x
+-mem-par combination must fingerprint identically to the serial drain)
+and TestIssueStageNoAllocs/TestDrainRoutingNoAllocs (zero allocations in
+the steady-state two-phase cycle, bank routing included).
 `
 
 func abs(v float64) float64 {

@@ -106,11 +106,13 @@ type pendReq struct {
 //	                  CU-private state transition, touching only this
 //	                  CU's waves, its stat shard (run) and its engine
 //	                  clone (eng). Accesses to the shared cache
-//	                  hierarchy are appended to reqs instead of applied.
-//	phase 2 (drain) — the GPU drains reqs in CU-index order on one
-//	                  goroutine, applying the deferred accesses in the
-//	                  exact order the serial loop would have issued them,
-//	                  so shared port/LRU state evolves byte-identically.
+//	                  hierarchy are routed into reqs' per-bank buckets
+//	                  instead of applied.
+//	phase 2 (drain) — the GPU's drain replays every bank's bucketed
+//	                  requests in (CU index, append order) as level
+//	                  waves (mem.Drain), so shared port/LRU state
+//	                  evolves deterministically at every parallelism
+//	                  level.
 type cu struct {
 	g  *GPU
 	id int
@@ -118,6 +120,10 @@ type cu struct {
 	l1d *mem.Cache
 	l1i *mem.Cache
 	sl1 *mem.Cache
+	// Destination handles of the three caches in reqs (mem routing).
+	l1dDest int
+	l1iDest int
+	sl1Dest int
 
 	// run is the CU's private statistics shard (merged into the GPU's
 	// root run at Finalize); eng is the per-CU engine clone for the
@@ -280,7 +286,7 @@ func (c *cu) fetchStage(now int64) {
 		wv.fetchBytes = bytes
 		wv.fetchInEpoch = wv.fetchEpoch
 		c.pend = append(c.pend, pendReq{wv: wv})
-		c.reqs.AppendLine(c.l1i, line, false, len(c.pend)-1)
+		c.reqs.AppendLine(c.l1iDest, line, false, len(c.pend)-1)
 		c.active = true
 		started++
 	}
@@ -308,16 +314,6 @@ func (c *cu) complete(tag int, ready int64) {
 		return
 	}
 	c.finishMem(p.wv, p.info, ready)
-}
-
-// drain applies the tick's deferred shared-cache accesses in append order
-// (serial-identical within the CU; the GPU drains CUs in index order).
-func (c *cu) drain(now int64) {
-	if c.reqs.Len() == 0 {
-		return
-	}
-	c.reqs.Drain(now, c.completeFn)
-	c.pend = c.pend[:0]
 }
 
 // issueStage picks ready wavefronts oldest-first and issues at most one
@@ -502,13 +498,13 @@ func (c *cu) retire(wv *waveCtx, info *emu.InstInfo, res *emu.ExecResult, now in
 	// Completion time of the instruction's result.
 	switch {
 	case res.MemKind == emu.MemGlobal && len(res.Lines) > 0:
-		// res.Lines is the wave's coalescing scratch; it is stable until
-		// the wave executes again, which is after the drain.
+		// res.Lines is the wave's coalescing scratch; Append routes and
+		// copies the lines, so the scratch may be reused immediately.
 		c.pend = append(c.pend, pendReq{wv: wv, info: info})
-		c.reqs.Append(c.l1d, res.Lines, res.MemWrite, len(c.pend)-1)
+		c.reqs.Append(c.l1dDest, res.Lines, res.MemWrite, len(c.pend)-1)
 	case res.MemKind == emu.MemScalar && len(res.Lines) > 0:
 		c.pend = append(c.pend, pendReq{wv: wv, info: info})
-		c.reqs.Append(c.sl1, res.Lines, false, len(c.pend)-1)
+		c.reqs.Append(c.sl1Dest, res.Lines, false, len(c.pend)-1)
 	case res.MemKind == emu.MemGlobal || res.MemKind == emu.MemScalar:
 		// Fully masked access: no lines, completes immediately.
 		c.finishMem(wv, info, now)

@@ -1,66 +1,126 @@
 package timing
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// pool is the phase-1 worker pool: a fixed set of goroutines, each owning a
-// contiguous slice of the GPU's CUs. One epoch = one simulated cycle's phase
-// 1: the main goroutine publishes the cycle to every worker, each worker
-// ticks its CUs (storing results on the CUs themselves), and the WaitGroup
-// forms the barrier. Channel send/receive and Done/Wait give the
-// happens-before edges that make every CU field written in phase 1 visible
-// to the main goroutine's phase 2, and vice versa for the next epoch — no
-// other synchronization exists on the hot path, and an epoch performs no
-// allocation.
-type pool struct {
-	chans []chan int64
-	split [][]*cu
-	wg    sync.WaitGroup
+// epoch is one unit of pool work: either a phase-1 CU tick at cycle now, or
+// a task epoch — the drain's bank waves — whose indices workers pull from a
+// shared atomic cursor.
+type epoch struct {
+	now  int64
+	task bool
 }
 
-// newPool starts workers goroutines over cus, partitioned contiguously so
-// neighboring CUs (which share I-cache and scalar-cache groups, and tend to
-// receive workgroups together) stay on one worker.
-func newPool(cus []*cu, workers int) *pool {
-	if workers > len(cus) {
-		workers = len(cus)
+// pool is the cycle-loop worker pool: a fixed set of goroutines. The first
+// len(split) workers each own a contiguous slice of the GPU's CUs for
+// phase-1 epochs; any worker can serve a task epoch. One epoch: the main
+// goroutine publishes it to the participating workers, each does its share
+// (storing results on the CUs or the drain's bank tasks), and the WaitGroup
+// forms the barrier. Channel send/receive and Done/Wait give the
+// happens-before edges that make every field written inside an epoch
+// visible to the main goroutine afterward, and vice versa for the next
+// epoch — no other synchronization exists on the hot path, and an epoch
+// performs no allocation.
+//
+// Task epochs distribute work by index through the cursor: which worker
+// runs which task is scheduling-dependent, but tasks within an epoch touch
+// disjoint state (one bank each), so results never depend on the
+// assignment.
+type pool struct {
+	chans []chan epoch
+	split [][]*cu
+	wg    sync.WaitGroup
+
+	// Task-epoch state: published before the sends (the sends give the
+	// happens-before edge), consumed by workers via cursor.
+	taskN  int
+	taskFn func(int)
+	cursor atomic.Int64
+}
+
+// newPool starts max(cuWorkers, taskWorkers) workers. CUs are partitioned
+// contiguously across the first cuWorkers of them, so neighboring CUs
+// (which share I-cache and scalar-cache groups, and tend to receive
+// workgroups together) stay on one worker; the remainder participate in
+// task epochs only.
+func newPool(cus []*cu, cuWorkers, taskWorkers int) *pool {
+	if cuWorkers > len(cus) {
+		cuWorkers = len(cus)
 	}
-	if workers < 1 {
-		workers = 1
+	if cuWorkers < 1 {
+		cuWorkers = 1
+	}
+	workers := cuWorkers
+	if taskWorkers > workers {
+		workers = taskWorkers
 	}
 	p := &pool{}
-	base, rem := len(cus)/workers, len(cus)%workers
+	base, rem := len(cus)/cuWorkers, len(cus)%cuWorkers
 	start := 0
 	for i := 0; i < workers; i++ {
-		size := base
-		if i < rem {
-			size++
+		var part []*cu
+		if i < cuWorkers {
+			size := base
+			if i < rem {
+				size++
+			}
+			part = cus[start : start+size]
+			start += size
+			p.split = append(p.split, part)
 		}
-		part := cus[start : start+size]
-		start += size
-		ch := make(chan int64, 1)
+		ch := make(chan epoch, 1)
 		p.chans = append(p.chans, ch)
-		p.split = append(p.split, part)
 		go p.worker(ch, part)
 	}
 	return p
 }
 
-func (p *pool) worker(ch chan int64, part []*cu) {
-	for now := range ch {
-		for _, c := range part {
-			c.finWGs, c.tickErr = c.tick(now)
+func (p *pool) worker(ch chan epoch, part []*cu) {
+	for e := range ch {
+		if e.task {
+			for {
+				i := int(p.cursor.Add(1)) - 1
+				if i >= p.taskN {
+					break
+				}
+				p.taskFn(i)
+			}
+		} else {
+			for _, c := range part {
+				c.finWGs, c.tickErr = c.tick(e.now)
+			}
 		}
 		p.wg.Done()
 	}
 }
 
-// run executes one phase-1 epoch at cycle now and blocks until every worker
-// has finished its CUs. The previous epoch's Wait guarantees each buffered
-// channel is empty, so the sends never block.
+// run executes one phase-1 epoch at cycle now and blocks until every
+// CU-owning worker has finished. The previous epoch's Wait guarantees each
+// buffered channel is empty, so the sends never block.
 func (p *pool) run(now int64) {
-	p.wg.Add(len(p.chans))
-	for _, ch := range p.chans {
-		ch <- now
+	p.wg.Add(len(p.split))
+	for _, ch := range p.chans[:len(p.split)] {
+		ch <- epoch{now: now}
+	}
+	p.wg.Wait()
+}
+
+// runTasks executes fn(0..n-1) across up to workers pool goroutines and
+// blocks until all n have finished. It satisfies mem.Executor.
+func (p *pool) runTasks(n int, fn func(int), workers int) {
+	if workers > len(p.chans) {
+		workers = len(p.chans)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p.taskN, p.taskFn = n, fn
+	p.cursor.Store(0)
+	p.wg.Add(workers)
+	for _, ch := range p.chans[:workers] {
+		ch <- epoch{task: true}
 	}
 	p.wg.Wait()
 }

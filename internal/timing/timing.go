@@ -120,12 +120,16 @@ type Params struct {
 	L1ISize, L1IWays           int
 	ScalarL1Size, ScalarL1Ways int
 	L2Size, L2Ways             int
-	L1HitLatency               int64
-	L2HitLatency               int64
-	ScalarHitLatency           int64
-	DRAMChannels               int
-	DRAMLatency                int64
-	DRAMOccupancy              int64
+	// L2Banks set-interleaves the shared L2 into independent banks, each
+	// with its own request port — the unit of phase-2 drain parallelism
+	// (DRAM channels are banks of their own already).
+	L2Banks          int
+	L1HitLatency     int64
+	L2HitLatency     int64
+	ScalarHitLatency int64
+	DRAMChannels     int
+	DRAMLatency      int64
+	DRAMOccupancy    int64
 }
 
 // DefaultParams returns the Table 4 machine with this model's latencies.
@@ -141,7 +145,7 @@ func DefaultParams() Params {
 		L1DSize:        16 << 10, L1DWays: 0,
 		L1ISize: 16 << 10, L1IWays: 8,
 		ScalarL1Size: 32 << 10, ScalarL1Ways: 8,
-		L2Size: 512 << 10, L2Ways: 16,
+		L2Size: 512 << 10, L2Ways: 16, L2Banks: 8,
 		L1HitLatency: 16, L2HitLatency: 64, ScalarHitLatency: 16,
 		DRAMChannels: 32, DRAMLatency: 160, DRAMOccupancy: 4,
 	}
@@ -164,47 +168,73 @@ type GPU struct {
 	// means serial). Results are byte-identical at every setting. Set it
 	// before the first RunDispatch.
 	Parallelism int
+	// MemParallelism is the number of goroutines the phase-2 drain's bank
+	// waves shard across (core.ResolveMemParallelism computes the usual
+	// value; <=1 means serial). Results are byte-identical at every
+	// setting. Set it before the first RunDispatch.
+	MemParallelism int
 	// Mem is the dispatch's functional memory. Parallel runs fork one
 	// view per CU from it so page-table caches and footprint tracking
 	// stay goroutine-private; leaving it nil forces serial ticking.
 	Mem *mem.Memory
 
-	cus []*cu
-	l2     *mem.Cache
-	dram   *mem.DRAM
+	cus  []*cu
+	l2   *mem.Cache
+	dram *mem.DRAM
 	// iCaches / sCaches are shared per 4 CUs (Table 4).
 	iCaches []*mem.Cache
 	sCaches []*mem.Cache
+
+	// drain replays the CUs' deferred cache accesses through the banked
+	// hierarchy as level waves (see mem.Drain); taskExec adapts the worker
+	// pool to the drain's executor interface, bound once.
+	drain    *mem.Drain
+	taskExec mem.Executor
 
 	now int64
 	// wdTick counts cycles toward the next watchdog check; it persists
 	// across dispatches so short kernels cannot starve the watchdog.
 	wdTick int64
-	// pool is the lazily started phase-1 worker pool (nil until the first
-	// parallel tick; Stop shuts it down).
+	// pool is the lazily started worker pool shared by phase-1 ticks and
+	// phase-2 bank waves (nil until first needed; Stop shuts it down).
 	pool *pool
 }
 
 // NewGPU builds the device.
 func NewGPU(p Params, run *stats.Run) *GPU {
 	g := &GPU{P: p, Run: run}
-	g.dram = mem.NewDRAM(p.DRAMChannels, p.DRAMLatency, p.DRAMOccupancy)
-	g.l2 = mem.NewCache("L2", p.L2Size, mem.LineSize, p.L2Ways, p.L2HitLatency, true, g.dram)
+	g.dram = mem.NewDRAM(p.DRAMChannels, mem.LineSize, p.DRAMLatency, p.DRAMOccupancy)
+	g.l2 = mem.NewCache("L2", p.L2Size, mem.LineSize, p.L2Ways, p.L2HitLatency, true, g.dram, p.L2Banks)
 	nShared := (p.NumCUs + 3) / 4
 	for i := 0; i < nShared; i++ {
 		g.iCaches = append(g.iCaches, mem.NewCache(fmt.Sprintf("L1I%d", i),
-			p.L1ISize, mem.LineSize, p.L1IWays, p.L1HitLatency, false, g.l2))
+			p.L1ISize, mem.LineSize, p.L1IWays, p.L1HitLatency, false, g.l2, 1))
 		g.sCaches = append(g.sCaches, mem.NewCache(fmt.Sprintf("sL1%d", i),
-			p.ScalarL1Size, mem.LineSize, p.ScalarL1Ways, p.ScalarHitLatency, false, g.l2))
+			p.ScalarL1Size, mem.LineSize, p.ScalarL1Ways, p.ScalarHitLatency, false, g.l2, 1))
 	}
 	for i := 0; i < p.NumCUs; i++ {
 		c := newCU(g, i)
 		c.l1d = mem.NewCache(fmt.Sprintf("L1D%d", i),
-			p.L1DSize, mem.LineSize, p.L1DWays, p.L1HitLatency, false, g.l2)
+			p.L1DSize, mem.LineSize, p.L1DWays, p.L1HitLatency, false, g.l2, 1)
 		c.l1i = g.iCaches[i/4]
 		c.sl1 = g.sCaches[i/4]
+		c.l1dDest = c.reqs.Register(c.l1d)
+		c.l1iDest = c.reqs.Register(c.l1i)
+		c.sl1Dest = c.reqs.Register(c.sl1)
 		g.cus = append(g.cus, c)
 	}
+	// Wire the drain: level-1 caches in replay order (per-CU L1Ds, then the
+	// shared I- and scalar caches), sources in CU-index order. This order —
+	// not goroutine scheduling — defines each bank's replay sequence.
+	l1s := make([]*mem.Cache, 0, p.NumCUs+2*nShared)
+	srcs := make([]mem.DrainSource, 0, p.NumCUs)
+	for _, c := range g.cus {
+		l1s = append(l1s, c.l1d)
+		srcs = append(srcs, mem.DrainSource{Buf: &c.reqs, Complete: c.completeFn})
+	}
+	l1s = append(l1s, g.iCaches...)
+	l1s = append(l1s, g.sCaches...)
+	g.drain = mem.NewDrain(l1s, srcs, g.l2, g.dram)
 	return g
 }
 
@@ -221,6 +251,53 @@ func (g *GPU) parallelism() int {
 		p = len(g.cus)
 	}
 	return p
+}
+
+// memParallelism returns the effective phase-2 worker count, capped at the
+// widest bank wave (more workers than banks would idle).
+func (g *GPU) memParallelism() int {
+	p := g.MemParallelism
+	if p < 1 {
+		p = 1
+	}
+	if w := g.drain.MaxWave(); p > w {
+		p = w
+	}
+	return p
+}
+
+// ensurePool starts the worker pool, sized for both phase-1 ticks and
+// phase-2 bank waves, and binds the drain executor once.
+func (g *GPU) ensurePool() {
+	if g.pool != nil {
+		return
+	}
+	g.pool = newPool(g.cus, g.parallelism(), g.memParallelism())
+	if g.taskExec == nil {
+		g.taskExec = func(n int, fn func(int)) { g.pool.runTasks(n, fn, g.memParallelism()) }
+	}
+}
+
+// drainParallelMin is the minimum number of routed line accesses a cycle
+// must have deferred before the drain's bank waves go to the pool: below
+// it, the three epoch barriers cost more than the work they spread.
+// Serial and pooled drains are byte-identical, so this is purely a
+// wall-clock heuristic.
+const drainParallelMin = 64
+
+// drainFlush replays the cycle's deferred cache accesses through the
+// banked hierarchy (see mem.Drain) and clears the CUs' pending-request
+// metadata the completion callbacks indexed into.
+func (g *GPU) drainFlush(now int64) {
+	var exec mem.Executor
+	if g.memParallelism() > 1 && g.drain.Pending() >= drainParallelMin {
+		g.ensurePool()
+		exec = g.taskExec
+	}
+	g.drain.Flush(now, exec)
+	for _, c := range g.cus {
+		c.pend = c.pend[:0]
+	}
 }
 
 // totalInsts sums committed instructions across the root run and every CU
@@ -292,13 +369,16 @@ func (g *GPU) prepareEngines(eng emu.Engine) bool {
 //
 // Each cycle is two phases. Phase 1 ticks every CU — fetch scheduling,
 // issue, functional execution — touching only that CU's private state and
-// deferring shared-cache accesses into its request buffer; with Parallelism
-// > 1 the ticks shard across the worker pool. Phase 2, always on this
-// goroutine, drains the buffers in CU-index order, applying the deferred
-// accesses in exactly the order the serial loop would have issued them, then
-// reduces the per-CU skip bounds. Shared state therefore evolves
-// byte-identically at every parallelism level, which
-// TestParallelTimingDeterminism asserts via run fingerprints.
+// routing deferred shared-cache accesses into per-bank buckets of its
+// request buffer; with Parallelism > 1 the ticks shard across the worker
+// pool. Phase 2 drains the buckets as bank waves (L1 level, then L2 banks,
+// then DRAM channels — see mem.Drain): each bank replays its requests in
+// (CU index, append order), so its port/LRU/counter state evolves
+// identically whether the waves run serially or across MemParallelism
+// workers. Then the per-CU skip bounds are reduced. Shared state therefore
+// evolves byte-identically at every (Parallelism, MemParallelism) setting,
+// which TestParallelTimingDeterminism and TestBankedMemoryDeterminism
+// assert via run fingerprints.
 func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 	watched := g.WD.enabled()
 	if watched {
@@ -364,29 +444,32 @@ func (g *GPU) RunDispatch(eng emu.Engine, d *hsa.Dispatch) (int64, error) {
 		// inline path run the same per-CU code; the pool only pays off when
 		// at least two CUs hold waves (drain tails often leave one).
 		if parallel && g.populated() > 1 {
-			if g.pool == nil {
-				g.pool = newPool(g.cus, g.parallelism())
-			}
+			g.ensurePool()
 			g.pool.run(g.now)
 		} else {
 			for _, c := range g.cus {
 				c.finWGs, c.tickErr = c.tick(g.now)
 			}
 		}
-		// Phase 2: serial. Surface the lowest-index CU's error first (the
-		// serial loop would have hit it first), drain deferred cache
-		// accesses in CU-index order, then reduce the skip bounds — after
-		// draining, because fetch-fill completions lower them.
+		// Phase 2. Surface the lowest-index CU's error first (the serial
+		// loop would have hit it first), then drain the deferred cache
+		// accesses: requests were routed to their destination banks during
+		// phase 1, so the drain replays bank waves — concurrently when
+		// MemParallelism > 1 and enough work is pending, byte-identically
+		// either way. The skip-bound reduction comes after the drain,
+		// because fill completions lower the bounds.
 		for _, c := range g.cus {
 			if c.tickErr != nil {
 				return 0, c.tickErr
 			}
 			active -= c.finWGs
-			c.drain(g.now)
 			if c.active {
 				idle = false
 			}
 			stallers += int64(c.stallers)
+		}
+		g.drainFlush(g.now)
+		for _, c := range g.cus {
 			if c.nextEvent < nextEvent {
 				nextEvent = c.nextEvent
 			}
@@ -455,19 +538,23 @@ func (g *GPU) HarvestCacheStats() {
 		return
 	}
 	for _, c := range g.cus {
-		g.Run.L1DAccesses += c.l1d.Stats.Accesses
-		g.Run.L1DMisses += c.l1d.Stats.Misses
+		st := c.l1d.Stats()
+		g.Run.L1DAccesses += st.Accesses
+		g.Run.L1DMisses += st.Misses
 	}
 	for _, ic := range g.iCaches {
-		g.Run.L1IAccesses += ic.Stats.Accesses
-		g.Run.L1IMisses += ic.Stats.Misses
+		st := ic.Stats()
+		g.Run.L1IAccesses += st.Accesses
+		g.Run.L1IMisses += st.Misses
 	}
 	for _, sc := range g.sCaches {
-		g.Run.ScalarL1Accesses += sc.Stats.Accesses
-		g.Run.ScalarL1Misses += sc.Stats.Misses
+		st := sc.Stats()
+		g.Run.ScalarL1Accesses += st.Accesses
+		g.Run.ScalarL1Misses += st.Misses
 	}
-	g.Run.L2Accesses = g.l2.Stats.Accesses
-	g.Run.L2Misses = g.l2.Stats.Misses
+	l2 := g.l2.Stats()
+	g.Run.L2Accesses = l2.Accesses
+	g.Run.L2Misses = l2.Misses
 }
 
 // Finalize folds per-CU state back into the shared run record: hierarchy
